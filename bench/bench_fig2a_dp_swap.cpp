@@ -1,0 +1,76 @@
+// Fig. 2(a): the swap bottleneck of data-parallel training with per-GPU memory
+// virtualization. BERT with per-GPU batch 5 on 1..4 simulated 1080Ti GPUs behind one PCIe
+// switch (IBM-LMS-style naive write-back, no p2p). The paper's claims:
+//   - global swap volume grows linearly with the number of GPUs (each replica swaps the
+//     same state independently), and
+//   - the shared switch->host uplink throttles global throughput, so scaling is far from
+//     linear.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace harmony;
+  std::cout << "=== Fig. 2(a): DP with per-GPU tensor swapping (BERT-large, batch 5/GPU) "
+               "===\n\n";
+
+  const Model bert = MakeBertLarge();
+  std::cout << bert.Summary() << "\n";
+  std::cout << "single-replica training footprint (batch 5): "
+            << FormatBytesDecimal(static_cast<double>(bert.SingleDeviceFootprint(5, 1)))
+            << " vs 11 GiB GPU capacity -> per-GPU virtualization must swap\n\n";
+
+  TablePrinter table({"# GPUs", "global throughput (seqs/s)", "global swap-out (GB/iter)",
+                      "global swap-in (GB/iter)", "iter time (s)", "speedup vs 1 GPU",
+                      "bottleneck link util"});
+  double base_throughput = 0.0;
+  double swap_out_1gpu = 0.0;
+  std::vector<double> swap_outs;
+  std::vector<double> throughputs;
+  for (int n = 1; n <= 4; ++n) {
+    SessionConfig config;
+    config.server.num_gpus = n;
+    config.server.gpus_per_switch = 4;
+    config.scheme = Scheme::kBaselineDp;
+    config.microbatches = 1;
+    config.microbatch_size = 5;
+    config.iterations = 3;
+    const SessionResult result = RunTraining(bert, config);
+    const double throughput = result.report.steady_throughput();
+    const double out_gb = static_cast<double>(result.report.steady_swap_out()) / kGB;
+    const double in_gb = static_cast<double>(result.report.steady_swap_in()) / kGB;
+    if (n == 1) {
+      base_throughput = throughput;
+      swap_out_1gpu = out_gb;
+    }
+    swap_outs.push_back(out_gb);
+    throughputs.push_back(throughput);
+    const RunReport::LinkUsage* bottleneck = result.report.BottleneckLink();
+    char util[64];
+    std::snprintf(util, sizeof(util), "%s %.0f%%",
+                  bottleneck != nullptr ? bottleneck->name.c_str() : "-",
+                  bottleneck != nullptr ? bottleneck->utilization * 100.0 : 0.0);
+    table.Row()
+        .Cell("N=" + std::to_string(n))
+        .Cell(throughput, 2)
+        .Cell(out_gb, 2)
+        .Cell(in_gb, 2)
+        .Cell(result.report.steady_iteration_time(), 2)
+        .Cell(throughput / base_throughput, 2)
+        .Cell(util);
+  }
+  table.Print(std::cout);
+
+  const double swap_growth = swap_outs.back() / swap_out_1gpu;
+  const double speedup4 = throughputs.back() / base_throughput;
+  std::printf(
+      "\nShape check vs paper: swap volume grows ~linearly with N (measured %.1fx at N=4; "
+      "paper: linear), while throughput scales only %.2fx at N=4 because all replicas "
+      "share one swap uplink (paper: throughput throttled, far below 4x). %s\n",
+      swap_growth, speedup4,
+      (swap_growth > 3.0 && speedup4 < 3.0) ? "REPRODUCED" : "NOT REPRODUCED");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 4: the simplified Harmony-PP example — a four-layer "large" model trained on two
+// GPUs with virtualized pipeline parallelism at layer granularity: layers placed in a loop
+// (L0,L2 on gpu0; L1,L3 on gpu1), each layer-task running its group of two microbatches
+// back-to-back, boundary activations flowing p2p, and each layer's weight update scheduled
+// just-in-time after its backward group. The bench renders the executed timeline and checks
+// the schedule's structural properties.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/schedule_render.h"
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace harmony;
+  std::cout << "=== Fig. 4: Harmony-PP toy schedule (4 layers, 2 GPUs, 2 microbatches) "
+               "===\n\n";
+
+  UniformModelConfig mc;
+  mc.name = "toy-4layer";
+  mc.num_layers = 4;
+  mc.param_bytes = 256 * kMiB;
+  mc.act_bytes_per_sample = 64 * kMiB;
+  mc.fwd_flops_per_sample = 4e11;
+  mc.optimizer_state_factor = 1.0;
+  const Model model = MakeUniformModel(mc);
+
+  SessionConfig config;
+  config.server.num_gpus = 2;
+  config.server.gpu = TestGpu(2 * kGiB, TFlops(4.0));
+  config.scheme = Scheme::kHarmonyPp;
+  config.microbatches = 2;
+  config.microbatch_size = 4;
+  config.iterations = 1;
+  config.record_timeline = true;
+  const SessionResult result = RunTraining(model, config);
+
+  std::cout << RenderTimeline(result.plan, result.timeline) << "\n";
+  std::cout << "task listing:\n" << ListTimeline(result.plan, result.timeline) << "\n";
+
+  // Structural checks mirroring the figure.
+  bool cyclic_placement = true;
+  for (const Task& task : result.plan.tasks) {
+    if (task.kind != TaskKind::kAllReduce && task.kind != TaskKind::kLoss &&
+        task.device != task.layer_begin % 2) {
+      cyclic_placement = false;
+    }
+  }
+  // Grouping: both microbatches of a layer's forward run back-to-back on the device queue.
+  bool grouped = true;
+  for (const auto& order : result.plan.per_device_order) {
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const Task& prev = result.plan.tasks[static_cast<std::size_t>(order[i - 1])];
+      const Task& cur = result.plan.tasks[static_cast<std::size_t>(order[i])];
+      if (prev.kind == TaskKind::kForward && cur.kind == TaskKind::kForward &&
+          prev.microbatch == 0 && cur.microbatch == 1 && prev.layer_begin != cur.layer_begin) {
+        grouped = false;
+      }
+    }
+  }
+  const bool used_p2p = result.report.total_p2p > 0;
+
+  TablePrinter checks({"figure property", "status"});
+  checks.Row().Cell("layers placed in a loop across GPUs (L0,L2 | L1,L3)").Cell(
+      cyclic_placement ? "yes" : "NO");
+  checks.Row().Cell("input-batch grouping (microbatch group per layer task)").Cell(
+      grouped ? "yes" : "NO");
+  checks.Row().Cell("boundary activations travel over p2p links").Cell(used_p2p ? "yes"
+                                                                               : "NO");
+  checks.Row()
+      .Cell("just-in-time weight update after each backward group")
+      .Cell("yes (validated by scheduler_test)");
+  checks.Print(std::cout);
+
+  std::printf("\ntotal p2p %.2f GB, swap %.2f GB, makespan %.2f s\n",
+              static_cast<double>(result.report.total_p2p) / kGB,
+              static_cast<double>(result.report.total_swap_in +
+                                  result.report.total_swap_out) /
+                  kGB,
+              result.report.makespan);
+  std::printf("Shape check vs paper: %s\n",
+              (cyclic_placement && grouped && used_p2p) ? "REPRODUCED" : "NOT REPRODUCED");
+  return 0;
+}

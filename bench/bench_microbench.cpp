@@ -1,0 +1,108 @@
+// Substrate micro-benchmarks (google-benchmark): the cost of the pieces every experiment
+// leans on — event queue throughput, allocator churn, fair-share rate recomputation, plan
+// construction, and a full small training simulation.
+#include <benchmark/benchmark.h>
+
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/hw/transfer_manager.h"
+#include "src/mem/allocator.h"
+#include "src/sim/simulator.h"
+
+namespace harmony {
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAfter(static_cast<double>(i % 97), [] {});
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AllocatorChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    DeviceAllocator alloc(1 * kGiB);
+    std::vector<std::pair<Bytes, Bytes>> blocks;
+    for (int i = 0; i < n; ++i) {
+      const Bytes size = 1 * kMiB + (i % 7) * 128 * kKiB;
+      const Bytes offset = alloc.Allocate(size);
+      if (offset >= 0) {
+        blocks.emplace_back(offset, size);
+      }
+      if (i % 3 == 0 && !blocks.empty()) {
+        alloc.Free(blocks.back().first, blocks.back().second);
+        blocks.pop_back();
+      }
+    }
+    for (const auto& [offset, size] : blocks) {
+      alloc.Free(offset, size);
+    }
+    benchmark::DoNotOptimize(alloc.free_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AllocatorChurn)->Arg(256)->Arg(1024);
+
+void BM_FairShareFlows(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ServerConfig config;
+    config.num_gpus = 8;
+    config.gpus_per_switch = 8;
+    Topology topo = MakeCommodityServerTopology(config);
+    Simulator sim;
+    TransferManager tm(&sim, &topo);
+    for (int f = 0; f < flows; ++f) {
+      tm.StartTransfer(topo.gpu_node(f % 8), topo.host_node(), 64 * kMiB,
+                       TransferKind::kSwapOut);
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(tm.flows_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FairShareFlows)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PlanConstructionBertLarge(benchmark::State& state) {
+  const Model bert = MakeBertLarge();
+  const Machine machine = MakeCommodityServer(ServerConfig{});
+  for (auto _ : state) {
+    TensorRegistry registry;
+    SessionConfig config;
+    config.scheme = Scheme::kHarmonyPp;
+    config.microbatches = 8;
+    config.microbatch_size = 5;
+    config.iterations = 2;
+    Plan plan = BuildPlanForConfig(bert, machine, &registry, config);
+    benchmark::DoNotOptimize(plan.tasks.size());
+  }
+}
+BENCHMARK(BM_PlanConstructionBertLarge);
+
+void BM_FullTrainingSimulation(benchmark::State& state) {
+  const Model bert = MakeBertBase();
+  for (auto _ : state) {
+    SessionConfig config;
+    config.server.num_gpus = 4;
+    config.scheme = Scheme::kHarmonyPp;
+    config.microbatches = 4;
+    config.microbatch_size = 4;
+    config.iterations = 2;
+    const SessionResult result = RunTraining(bert, config);
+    benchmark::DoNotOptimize(result.report.makespan);
+  }
+}
+BENCHMARK(BM_FullTrainingSimulation);
+
+}  // namespace
+}  // namespace harmony
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Fine-tuning BERT-large on a commodity 4x 1080Ti server — the paper's motivating use case
+// for "the masses": pre-training GPT-class models from scratch is out of reach, but
+// fine-tuning (tens of exaFLOPs) is days of work on a modest box *if* the memory problem is
+// solved. This example sizes the job, runs all four schemes on the simulator, and projects
+// the wall-clock time of a full 3-epoch fine-tune.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/util/logging.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace harmony;
+  SetLogThreshold(LogSeverity::kInfo);
+
+  const Model bert = MakeBertLarge();
+  std::cout << bert.Summary() << "\n";
+  std::cout << "training footprint at batch 8: "
+            << FormatBytesDecimal(static_cast<double>(bert.SingleDeviceFootprint(8, 1)))
+            << " vs 11 GiB per GPU -> does not fit without Harmony or swapping\n\n";
+
+  // SQuAD-style fine-tune: ~88k examples, 3 epochs, minibatch 32.
+  const double examples = 88'000.0;
+  const double epochs = 3.0;
+
+  TablePrinter table(
+      {"scheme", "config", "seqs/s", "swap GB/iter", "projected fine-tune (h)"});
+  struct Entry {
+    const char* label;
+    const char* config_label;
+    SessionConfig config;
+  };
+  SessionConfig base;
+  base.server.num_gpus = 4;
+  base.iterations = 3;
+
+  std::vector<Entry> entries;
+  {
+    SessionConfig c = base;
+    c.scheme = Scheme::kBaselineDp;
+    c.microbatches = 1;
+    c.microbatch_size = 8;
+    entries.push_back({"baseline-DP", "batch 8/GPU, LMS", c});
+  }
+  {
+    SessionConfig c = base;
+    c.scheme = Scheme::kBaselinePp;
+    c.microbatches = 4;
+    c.microbatch_size = 8;
+    entries.push_back({"baseline-PP", "4 stages, 4x8 ubatch", c});
+  }
+  {
+    SessionConfig c = base;
+    c.scheme = Scheme::kHarmonyDp;
+    c.microbatches = 1;
+    c.microbatch_size = 8;
+    c.recompute = true;  // tuner-selected: trades FLOPs for stash memory
+    entries.push_back({"Harmony-DP", "batch 8/GPU, recompute", c});
+  }
+  {
+    SessionConfig c = base;
+    c.scheme = Scheme::kHarmonyPp;
+    c.microbatches = 8;
+    c.microbatch_size = 4;
+    c.pack_size = 2;
+    c.recompute = true;
+    entries.push_back({"Harmony-PP", "pack 2, 8x4 ubatch, recompute", c});
+  }
+
+  for (const Entry& entry : entries) {
+    const SessionResult result = RunTraining(bert, entry.config);
+    const double throughput = result.report.steady_throughput();
+    const double hours = examples * epochs / throughput / 3600.0;
+    table.Row()
+        .Cell(entry.label)
+        .Cell(entry.config_label)
+        .Cell(throughput, 2)
+        .Cell(static_cast<double>(result.report.steady_swap_total()) / kGB, 2)
+        .Cell(hours, 1);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nTakeaway: with Harmony the 3-epoch fine-tune finishes overnight on the "
+               "commodity box instead of taking days — \"doing more with less\".\n";
+  return 0;
+}

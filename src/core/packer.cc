@@ -1,0 +1,94 @@
+#include "src/core/packer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+std::vector<int> MakePackBoundaries(int num_layers, int pack_size) {
+  HCHECK_GT(num_layers, 0);
+  HCHECK_GT(pack_size, 0);
+  std::vector<int> bounds;
+  for (int at = 0; at < num_layers; at += pack_size) {
+    bounds.push_back(at);
+  }
+  bounds.push_back(num_layers);
+  return bounds;
+}
+
+std::vector<int> AssignPacksRoundRobin(int num_packs, int num_devices) {
+  HCHECK_GT(num_devices, 0);
+  std::vector<int> assignment(static_cast<std::size_t>(num_packs));
+  for (int p = 0; p < num_packs; ++p) {
+    assignment[static_cast<std::size_t>(p)] = p % num_devices;
+  }
+  return assignment;
+}
+
+std::vector<int> AssignPacksLpt(const std::vector<double>& pack_costs, int num_devices) {
+  HCHECK_GT(num_devices, 0);
+  const int num_packs = static_cast<int>(pack_costs.size());
+  std::vector<int> order(static_cast<std::size_t>(num_packs));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return pack_costs[static_cast<std::size_t>(a)] > pack_costs[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> load(static_cast<std::size_t>(num_devices), 0.0);
+  std::vector<int> assignment(static_cast<std::size_t>(num_packs), 0);
+  for (int p : order) {
+    int best = 0;
+    for (int d = 1; d < num_devices; ++d) {
+      if (load[static_cast<std::size_t>(d)] < load[static_cast<std::size_t>(best)]) {
+        best = d;
+      }
+    }
+    assignment[static_cast<std::size_t>(p)] = best;
+    load[static_cast<std::size_t>(best)] += pack_costs[static_cast<std::size_t>(p)];
+  }
+  return assignment;
+}
+
+std::vector<int> AssignPacksZigzag(int num_packs, int num_devices) {
+  HCHECK_GT(num_devices, 0);
+  std::vector<int> assignment(static_cast<std::size_t>(num_packs));
+  for (int p = 0; p < num_packs; ++p) {
+    const int round = p / num_devices;
+    const int slot = p % num_devices;
+    assignment[static_cast<std::size_t>(p)] =
+        round % 2 == 0 ? slot : num_devices - 1 - slot;
+  }
+  return assignment;
+}
+
+std::vector<int> AssignPacksBalanced(const std::vector<double>& pack_costs, int num_devices) {
+  const int num_packs = static_cast<int>(pack_costs.size());
+  std::vector<std::vector<int>> candidates = {
+      AssignPacksRoundRobin(num_packs, num_devices),
+      AssignPacksZigzag(num_packs, num_devices),
+      AssignPacksLpt(pack_costs, num_devices),
+  };
+  std::size_t best = 0;
+  double best_load = MaxDeviceLoad(pack_costs, candidates[0], num_devices);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double load = MaxDeviceLoad(pack_costs, candidates[i], num_devices);
+    if (load < best_load - 1e-12) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return candidates[best];
+}
+
+double MaxDeviceLoad(const std::vector<double>& pack_costs, const std::vector<int>& assignment,
+                     int num_devices) {
+  HCHECK_EQ(pack_costs.size(), assignment.size());
+  std::vector<double> load(static_cast<std::size_t>(num_devices), 0.0);
+  for (std::size_t p = 0; p < pack_costs.size(); ++p) {
+    load[static_cast<std::size_t>(assignment[p])] += pack_costs[p];
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace harmony

@@ -1,0 +1,39 @@
+// Task packing: grouping layers into packs and balancing packs across devices (Sec. 3,
+// optimization 4 — "pack tasks to balance compute, memory, and swap load").
+#ifndef HARMONY_SRC_CORE_PACKER_H_
+#define HARMONY_SRC_CORE_PACKER_H_
+
+#include <vector>
+
+namespace harmony {
+
+// Splits layers [0, num_layers) into consecutive packs of `pack_size` (last pack may be
+// short). Returns pack boundaries of size num_packs + 1.
+std::vector<int> MakePackBoundaries(int num_layers, int pack_size);
+
+// Assigns packs to devices round-robin (pack p -> p % num_devices); Harmony's default
+// "looping" placement (Fig. 4), which interleaves packs so adjacent packs sit on different
+// GPUs and their boundary tensors travel over p2p links.
+std::vector<int> AssignPacksRoundRobin(int num_packs, int num_devices);
+
+// Longest-processing-time greedy: heaviest pack to the least-loaded device. Balances
+// heterogeneous packs (e.g. a huge embedding layer) at the cost of adjacency regularity.
+std::vector<int> AssignPacksLpt(const std::vector<double>& pack_costs, int num_devices);
+
+// Boustrophedon placement: 0,1,..,N-1,N-1,..,1,0,0,1,... Keeps adjacent packs on different
+// devices (like round-robin) but decorrelates periodic cost patterns from the device index,
+// e.g. alternating heavy/light layers stop piling onto one GPU.
+std::vector<int> AssignPacksZigzag(int num_packs, int num_devices);
+
+// Multi-dimensional balancing entry point: evaluates the adjacency-friendly placements
+// (round-robin, zigzag) and LPT, returning the one with the lowest maximum device load;
+// ties prefer the adjacency-friendly candidates, which pipeline better.
+std::vector<int> AssignPacksBalanced(const std::vector<double>& pack_costs, int num_devices);
+
+// Max device load under an assignment (for tests/benches).
+double MaxDeviceLoad(const std::vector<double>& pack_costs, const std::vector<int>& assignment,
+                     int num_devices);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_CORE_PACKER_H_

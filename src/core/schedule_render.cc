@@ -1,0 +1,97 @@
+#include "src/core/schedule_render.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+#include "src/util/units.h"
+
+namespace harmony {
+namespace {
+
+char KindChar(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kForward:
+      return 'F';
+    case TaskKind::kLoss:
+      return 'l';
+    case TaskKind::kBackward:
+      return 'B';
+    case TaskKind::kUpdate:
+      return 'U';
+    case TaskKind::kAllReduce:
+      return 'A';
+  }
+  return '?';
+}
+
+std::string SegmentLabel(const Task& task) {
+  std::ostringstream os;
+  if (task.microbatch >= 0) {
+    os << task.microbatch + 1;
+  }
+  os << KindChar(task.kind) << "L" << task.layer_begin;
+  if (task.layer_end > task.layer_begin + 1) {
+    os << "-" << task.layer_end - 1;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string RenderTimeline(const Plan& plan, const std::vector<TaskTrace>& timeline,
+                           int width) {
+  HCHECK_GT(width, 10);
+  double makespan = 0.0;
+  for (const TaskTrace& trace : timeline) {
+    makespan = std::max(makespan, trace.end);
+  }
+  if (makespan <= 0.0) {
+    return "(empty timeline)\n";
+  }
+  std::vector<std::string> rows(static_cast<std::size_t>(plan.num_devices()),
+                                std::string(static_cast<std::size_t>(width), '.'));
+  for (const TaskTrace& trace : timeline) {
+    const Task& task = plan.tasks[static_cast<std::size_t>(trace.task)];
+    int begin = static_cast<int>(trace.start / makespan * width);
+    int end = static_cast<int>(trace.end / makespan * width);
+    begin = std::clamp(begin, 0, width - 1);
+    end = std::clamp(end, begin + 1, width);
+    std::string& row = rows[static_cast<std::size_t>(task.device)];
+    const std::string label = SegmentLabel(task);
+    for (int i = begin; i < end; ++i) {
+      const std::size_t li = static_cast<std::size_t>(i - begin);
+      row[static_cast<std::size_t>(i)] = li < label.size() ? label[li] : '-';
+    }
+    if (end - begin >= 2) {
+      row[static_cast<std::size_t>(end - 1)] = '|';
+    }
+  }
+  std::ostringstream os;
+  os << "timeline (" << FormatSeconds(makespan) << " total; labels <mb><kind>L<layer>)\n";
+  for (int d = 0; d < plan.num_devices(); ++d) {
+    os << "gpu" << d << " " << rows[static_cast<std::size_t>(d)] << "\n";
+  }
+  return os.str();
+}
+
+std::string ListTimeline(const Plan& plan, const std::vector<TaskTrace>& timeline) {
+  std::vector<TaskTrace> sorted = timeline;
+  std::sort(sorted.begin(), sorted.end(), [](const TaskTrace& a, const TaskTrace& b) {
+    if (a.start != b.start) {
+      return a.start < b.start;
+    }
+    return a.task < b.task;
+  });
+  std::ostringstream os;
+  for (const TaskTrace& trace : sorted) {
+    const Task& task = plan.tasks[static_cast<std::size_t>(trace.task)];
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%10.6fs .. %10.6fs  ", trace.start, trace.end);
+    os << buffer << task.DebugName() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace harmony

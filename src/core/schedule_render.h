@@ -1,0 +1,24 @@
+// ASCII rendering of an executed schedule (Fig. 4's timeline as text).
+#ifndef HARMONY_SRC_CORE_SCHEDULE_RENDER_H_
+#define HARMONY_SRC_CORE_SCHEDULE_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/task.h"
+#include "src/runtime/engine.h"
+
+namespace harmony {
+
+// Proportional Gantt chart, one row per device, `width` characters across the makespan.
+// Each compute segment is labelled "<mb><F|B|U|A>L<layer>" truncated to its width; idle
+// time renders as '.'.
+std::string RenderTimeline(const Plan& plan, const std::vector<TaskTrace>& timeline,
+                           int width = 100);
+
+// Compact listing: one line per task in start order, with timings.
+std::string ListTimeline(const Plan& plan, const std::vector<TaskTrace>& timeline);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_CORE_SCHEDULE_RENDER_H_

@@ -1,0 +1,159 @@
+#include "src/core/session.h"
+
+#include "src/baseline/baseline_dp.h"
+#include "src/baseline/baseline_pp.h"
+#include "src/core/harmony_dp.h"
+#include "src/core/harmony_pp.h"
+#include "src/core/harmony_tp.h"
+#include "src/hw/transfer_manager.h"
+#include "src/runtime/collective.h"
+#include "src/runtime/demand.h"
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+
+namespace harmony {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBaselineDp:
+      return "baseline-dp";
+    case Scheme::kBaselinePp:
+      return "baseline-pp";
+    case Scheme::kHarmonyDp:
+      return "harmony-dp";
+    case Scheme::kHarmonyPp:
+      return "harmony-pp";
+    case Scheme::kHarmonyTp:
+      return "harmony-tp";
+  }
+  return "unknown";
+}
+
+MemoryPolicy DefaultPolicyFor(Scheme scheme, bool p2p) {
+  switch (scheme) {
+    case Scheme::kBaselineDp:
+    case Scheme::kBaselinePp:
+      return LmsPolicy();
+    case Scheme::kHarmonyDp:
+    case Scheme::kHarmonyPp:
+    case Scheme::kHarmonyTp: {
+      MemoryPolicy policy = HarmonyPolicy();
+      policy.allow_p2p = p2p;
+      return policy;
+    }
+  }
+  return LmsPolicy();
+}
+
+Plan BuildPlanForConfig(const Model& model, const Machine& machine, TensorRegistry* registry,
+                        const SessionConfig& config) {
+  Plan plan;
+  switch (config.scheme) {
+    case Scheme::kBaselineDp: {
+      BaselineDpOptions options;
+      options.microbatches_per_gpu = config.microbatches;
+      options.microbatch_size = config.microbatch_size;
+      options.iterations = config.iterations;
+      options.recompute = config.recompute;
+      plan = BuildBaselineDpPlan(model, machine, registry, options);
+      break;
+    }
+    case Scheme::kBaselinePp: {
+      BaselinePpOptions options;
+      options.microbatches = config.microbatches;
+      options.microbatch_size = config.microbatch_size;
+      options.iterations = config.iterations;
+      options.recompute = config.recompute;
+      plan = BuildBaselinePpPlan(model, machine, registry, options);
+      break;
+    }
+    case Scheme::kHarmonyDp: {
+      HarmonyDpOptions options;
+      options.microbatches_per_gpu = config.microbatches;
+      options.microbatch_size = config.microbatch_size;
+      options.iterations = config.iterations;
+      options.input_batch_grouping = config.grouping;
+      options.jit_updates = config.jit_updates;
+      options.recompute = config.recompute;
+      plan = BuildHarmonyDpPlan(model, machine, registry, options);
+      break;
+    }
+    case Scheme::kHarmonyPp: {
+      HarmonyPpOptions options;
+      options.microbatches = config.microbatches;
+      options.microbatch_size = config.microbatch_size;
+      options.iterations = config.iterations;
+      options.pack_size = config.pack_size;
+      options.input_batch_grouping = config.grouping;
+      options.group_size = config.group_size;
+      options.jit_updates = config.jit_updates;
+      options.balanced_packing = config.balanced_packing;
+      options.recompute = config.recompute;
+      plan = BuildHarmonyPpPlan(model, machine, registry, options);
+      break;
+    }
+    case Scheme::kHarmonyTp: {
+      HarmonyTpOptions options;
+      options.microbatches = config.microbatches;
+      options.microbatch_size = config.microbatch_size;
+      options.iterations = config.iterations;
+      options.input_batch_grouping = config.grouping;
+      options.jit_updates = config.jit_updates;
+      options.recompute = config.recompute;
+      plan = BuildHarmonyTpPlan(model, machine, registry, options);
+      break;
+    }
+  }
+  return plan;
+}
+
+std::vector<Bytes> ProbePeakWorkingSet(const Model& model, const SessionConfig& config) {
+  Machine machine = MakeCommodityServer(config.server);
+  TensorRegistry registry;
+  const Plan plan = BuildPlanForConfig(model, machine, &registry, config);
+  return plan.PeakTaskWorkingSet(registry);
+}
+
+SessionResult RunTraining(const Model& model, const SessionConfig& config) {
+  Machine machine = MakeCommodityServer(config.server);
+  Simulator sim;
+  TransferManager transfers(&sim, &machine.topology);
+  TensorRegistry registry;
+  Plan plan = BuildPlanForConfig(model, machine, &registry, config);
+
+  MemoryPolicy policy =
+      config.policy.has_value() ? *config.policy : DefaultPolicyFor(config.scheme, config.p2p);
+  if (config.lookahead_eviction) {
+    policy.eviction = EvictionPolicy::kLookahead;
+  }
+
+  std::vector<Bytes> capacities;
+  capacities.reserve(machine.gpus.size());
+  for (const GpuSpec& gpu : machine.gpus) {
+    capacities.push_back(gpu.memory_bytes);
+  }
+  MemorySystem memory(&sim, &transfers, &registry, &machine.topology, capacities, policy);
+  CollectiveEngine collective(&sim, &transfers);
+
+  // Fail fast with a clear message when a single task cannot fit.
+  SessionResult result;
+  result.peak_task_working_set = plan.PeakTaskWorkingSet(registry);
+  for (int d = 0; d < plan.num_devices(); ++d) {
+    HCHECK_LE(result.peak_task_working_set[static_cast<std::size_t>(d)],
+              capacities[static_cast<std::size_t>(d)])
+        << "scheme " << plan.scheme << ": a single task's working set exceeds gpu" << d
+        << " memory — shrink microbatch_size or pack_size";
+  }
+  result.memory_demand_per_device = ComputeMemoryDemand(plan, registry);
+
+  EngineOptions engine_options;
+  engine_options.prefetch = config.prefetch;
+  engine_options.record_timeline = config.record_timeline;
+  Engine engine(&sim, &machine, &memory, &transfers, &collective, &plan, engine_options);
+  result.report = engine.Run();
+  result.timeline = engine.timeline();
+  result.plan = std::move(plan);
+  return result;
+}
+
+}  // namespace harmony

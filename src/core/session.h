@@ -1,0 +1,87 @@
+// Session: the public entry point ("users target a single virtual device with practically
+// unbounded memory"). Give it a model and a configuration; it assembles the simulated
+// machine, decomposes the program into tasks under the chosen parallelization scheme,
+// applies the matching memory policy, executes the plan, and returns the measured report.
+#ifndef HARMONY_SRC_CORE_SESSION_H_
+#define HARMONY_SRC_CORE_SESSION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/model.h"
+#include "src/graph/task.h"
+#include "src/hw/topology.h"
+#include "src/mem/memory_manager.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/metrics.h"
+
+namespace harmony {
+
+enum class Scheme {
+  kBaselineDp,  // DDP + LMS-style per-GPU virtualization
+  kBaselinePp,  // 1F1B stages + per-GPU virtualization
+  kHarmonyDp,
+  kHarmonyPp,
+  kHarmonyTp,  // intra-op (tensor-parallel) splitting
+};
+
+const char* SchemeName(Scheme scheme);
+
+struct SessionConfig {
+  ServerConfig server;
+  Scheme scheme = Scheme::kHarmonyPp;
+
+  // Workload shape: `microbatches` is per GPU for DP schemes and the whole minibatch for PP
+  // schemes (matching the paper's "m microbatches per GPU, minibatch of mN microbatches").
+  int microbatches = 1;
+  int microbatch_size = 1;
+  int iterations = 3;
+
+  // Harmony knobs (ignored by baselines).
+  int pack_size = 1;
+  bool grouping = true;
+  int group_size = 0;  // microbatches per input-batch group (PP); 0 = whole minibatch
+  bool jit_updates = true;
+  bool p2p = true;
+  bool balanced_packing = false;
+  bool recompute = false;
+  // Scheduler-informed (Belady) eviction instead of LRU: the memory manager evicts the
+  // tensor whose next scheduled use is farthest away. Off by default so the analytic LRU
+  // model stays exact; an ablation quantifies the win.
+  bool lookahead_eviction = false;
+
+  // Engine knobs.
+  bool prefetch = true;
+  bool record_timeline = false;
+
+  // Overrides the scheme-derived memory policy when set (ablations).
+  std::optional<MemoryPolicy> policy;
+};
+
+struct SessionResult {
+  RunReport report;
+  Plan plan;
+  std::vector<TaskTrace> timeline;             // non-empty iff record_timeline
+  std::vector<Bytes> peak_task_working_set;    // per device
+  std::vector<Bytes> memory_demand_per_device; // sum of live-tensor peak, see Fig. 2(c)
+};
+
+// Builds and runs one training session. Fatal on infeasible configurations (a single task's
+// working set exceeding device memory) with a diagnostic message.
+SessionResult RunTraining(const Model& model, const SessionConfig& config);
+
+// Convenience: the memory policy a scheme runs under by default.
+MemoryPolicy DefaultPolicyFor(Scheme scheme, bool p2p);
+
+// Builds just the plan for `config` (no execution) against `registry`; exposed for tests and
+// for the tuner's feasibility probing.
+Plan BuildPlanForConfig(const Model& model, const Machine& machine, TensorRegistry* registry,
+                        const SessionConfig& config);
+
+// Largest single-task working set per device for `config`, without running anything.
+std::vector<Bytes> ProbePeakWorkingSet(const Model& model, const SessionConfig& config);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_CORE_SESSION_H_

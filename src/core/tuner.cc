@@ -1,0 +1,85 @@
+#include "src/core/tuner.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/table.h"
+
+namespace harmony {
+
+TunerResult TunePp(const Model& model, const SessionConfig& base, const TunerOptions& options) {
+  TunerResult result;
+  const Bytes capacity = base.server.gpu.memory_bytes;
+
+  for (int pack : options.pack_sizes) {
+    for (int group : options.group_sizes) {
+    for (int mbs : options.microbatch_sizes) {
+      if (options.minibatch_samples % mbs != 0) {
+        continue;  // keep the minibatch (SGD semantics) identical across the sweep
+      }
+      TunerPoint point;
+      point.pack_size = pack;
+      point.group_size = group;
+      point.microbatch_size = mbs;
+      point.microbatches = options.minibatch_samples / mbs;
+
+      SessionConfig config = base;
+      config.scheme = Scheme::kHarmonyPp;
+      config.pack_size = pack;
+      config.group_size = group;
+      config.microbatch_size = mbs;
+      config.microbatches = point.microbatches;
+      config.iterations = options.iterations;
+
+      const std::vector<Bytes> peaks = ProbePeakWorkingSet(model, config);
+      point.peak_working_set = *std::max_element(peaks.begin(), peaks.end());
+      point.feasible = point.peak_working_set <= capacity;
+      if (point.feasible) {
+        const SessionResult run = RunTraining(model, config);
+        point.iteration_time = run.report.steady_iteration_time();
+        point.throughput = run.report.steady_throughput();
+        point.swap_volume = run.report.steady_swap_total();
+      }
+      result.points.push_back(point);
+    }
+    }
+  }
+
+  const TunerPoint* best = nullptr;
+  for (const TunerPoint& point : result.points) {
+    if (point.feasible && (best == nullptr || point.throughput > best->throughput)) {
+      best = &point;
+    }
+  }
+  HCHECK(best != nullptr) << "tuner found no feasible (pack, microbatch) configuration";
+  result.best = *best;
+  return result;
+}
+
+std::string RenderTunerTable(const TunerResult& result) {
+  TablePrinter table({"pack", "group", "ubatch", "m", "peak WS", "swap/iter", "iter time",
+                      "samples/s", "note"});
+  for (const TunerPoint& point : result.points) {
+    auto row = table.Row();
+    row.Cell(std::to_string(point.pack_size))
+        .Cell(point.group_size == 0 ? std::string("all") : std::to_string(point.group_size))
+        .Cell(point.microbatch_size)
+        .Cell(point.microbatches)
+        .Cell(FormatBytes(point.peak_working_set));
+    if (point.feasible) {
+      row.Cell(FormatBytesDecimal(static_cast<double>(point.swap_volume)))
+          .Cell(point.iteration_time, 4)
+          .Cell(point.throughput, 2)
+          .Cell(point.pack_size == result.best.pack_size &&
+                        point.group_size == result.best.group_size &&
+                        point.microbatch_size == result.best.microbatch_size
+                    ? "<< best"
+                    : "");
+    } else {
+      row.Cell("-").Cell("-").Cell("-").Cell("infeasible");
+    }
+  }
+  return table.ToString();
+}
+
+}  // namespace harmony

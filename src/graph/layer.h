@@ -1,0 +1,52 @@
+// Layer IR with an analytical cost model.
+//
+// A layer carries everything the planner needs: parameter/gradient/optimizer bytes, the
+// per-sample activation and internal-stash footprints, scratch workspace, and FLOP counts
+// for the three phases (forward, backward, weight update). Absolute numbers come from the
+// model zoo's closed-form estimates (see model_zoo.h); the scheduling results depend only on
+// their relative shape.
+#ifndef HARMONY_SRC_GRAPH_LAYER_H_
+#define HARMONY_SRC_GRAPH_LAYER_H_
+
+#include <string>
+
+#include "src/util/units.h"
+
+namespace harmony {
+
+enum class LayerKind {
+  kEmbedding,
+  kTransformer,
+  kLinear,
+  kConv,
+  kGeneric,
+};
+
+struct LayerCost {
+  Bytes param_bytes = 0;  // W
+  Bytes grad_bytes = 0;   // dW (== param_bytes unless quantized)
+  // Optimizer state K, e.g. 2x params for Adam (set by the zoo from the optimizer choice).
+  Bytes opt_state_bytes = 0;
+
+  // Output activation Y per input sample (the tensor handed to the next layer).
+  Bytes act_out_bytes_per_sample = 0;
+  // Internal tensors stashed between forward and backward (attention scores, GeLU inputs,
+  // dropout masks, ...) per sample. Zero when activation recomputation is used.
+  Bytes stash_bytes_per_sample = 0;
+  // Transient scratch during a kernel (cuDNN-style workspace) per sample.
+  Bytes workspace_bytes_per_sample = 0;
+
+  double fwd_flops_per_sample = 0.0;
+  double bwd_flops_per_sample = 0.0;  // typically 2x forward
+  double upd_flops = 0.0;             // per update step (independent of batch)
+};
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kGeneric;
+  LayerCost cost;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_GRAPH_LAYER_H_

@@ -1,0 +1,83 @@
+#include "src/graph/model.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+Bytes Model::activation_bytes_per_sample(int l) const {
+  HCHECK_GE(l, 0);
+  HCHECK_LE(l, num_layers());
+  if (l == 0) {
+    return input_bytes_per_sample_;
+  }
+  return layers_[static_cast<std::size_t>(l - 1)].cost.act_out_bytes_per_sample;
+}
+
+Bytes Model::total_param_bytes() const {
+  Bytes total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.cost.param_bytes;
+  }
+  return total;
+}
+
+Bytes Model::total_grad_bytes() const {
+  Bytes total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.cost.grad_bytes;
+  }
+  return total;
+}
+
+Bytes Model::total_opt_state_bytes() const {
+  Bytes total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.cost.opt_state_bytes;
+  }
+  return total;
+}
+
+double Model::total_fwd_flops_per_sample() const {
+  double total = 0.0;
+  for (const auto& layer : layers_) {
+    total += layer.cost.fwd_flops_per_sample;
+  }
+  return total;
+}
+
+double Model::total_bwd_flops_per_sample() const {
+  double total = 0.0;
+  for (const auto& layer : layers_) {
+    total += layer.cost.bwd_flops_per_sample;
+  }
+  return total;
+}
+
+Bytes Model::SingleDeviceFootprint(int samples, int microbatches) const {
+  // Weights, gradient buffers and optimizer state are live for the whole iteration. Each
+  // microbatch's stashes and boundary activations are live from its forward pass until its
+  // backward pass; with the standard "all forwards then all backwards" accumulation order
+  // every microbatch's stash is simultaneously live at the fwd/bwd turning point.
+  Bytes persistent = total_param_bytes() + total_grad_bytes() + total_opt_state_bytes();
+  Bytes per_microbatch = 0;
+  for (int l = 0; l <= num_layers(); ++l) {
+    per_microbatch += activation_bytes_per_sample(l) * samples;
+  }
+  for (const auto& layer : layers_) {
+    per_microbatch += layer.cost.stash_bytes_per_sample * samples;
+  }
+  return persistent + per_microbatch * microbatches;
+}
+
+std::string Model::Summary() const {
+  std::ostringstream os;
+  os << "model " << name_ << ": " << num_layers() << " layers, "
+     << FormatCount(total_params()) << " params (" << FormatBytes(total_param_bytes())
+     << " weights, " << FormatBytes(total_grad_bytes()) << " grads, "
+     << FormatBytes(total_opt_state_bytes()) << " optimizer state)";
+  return os.str();
+}
+
+}  // namespace harmony

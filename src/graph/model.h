@@ -1,0 +1,58 @@
+// A model is an ordered sequence of layers plus the input sample geometry.
+//
+// Activation indexing convention used throughout the planner: X[0] is the input microbatch,
+// X[l+1] is the output of layer l, so a model with R layers has activations X[0..R] and X[R]
+// is the logits tensor consumed by the loss.
+#ifndef HARMONY_SRC_GRAPH_MODEL_H_
+#define HARMONY_SRC_GRAPH_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/layer.h"
+#include "src/util/units.h"
+
+namespace harmony {
+
+class Model {
+ public:
+  Model(std::string name, Bytes input_bytes_per_sample)
+      : name_(std::move(name)), input_bytes_per_sample_(input_bytes_per_sample) {}
+
+  void AddLayer(Layer layer) { layers_.push_back(std::move(layer)); }
+
+  const std::string& name() const { return name_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const Layer& layer(int l) const { return layers_.at(static_cast<std::size_t>(l)); }
+  Bytes input_bytes_per_sample() const { return input_bytes_per_sample_; }
+
+  // Size of activation X[l] (l in 0..num_layers()) per sample.
+  Bytes activation_bytes_per_sample(int l) const;
+
+  Bytes total_param_bytes() const;
+  Bytes total_grad_bytes() const;
+  Bytes total_opt_state_bytes() const;
+  std::int64_t total_params(Bytes dtype_bytes = 4) const {
+    return total_param_bytes() / dtype_bytes;
+  }
+  double total_fwd_flops_per_sample() const;
+  double total_bwd_flops_per_sample() const;
+
+  // Peak live footprint of one training iteration on a single device with `samples` per
+  // microbatch and `microbatches` gradient-accumulation steps (weights + grads + optimizer
+  // state + all live stashes/activations). This is the "memory demand" quantity plotted in
+  // Fig. 2(c) against the capacity line.
+  Bytes SingleDeviceFootprint(int samples, int microbatches) const;
+
+  // Multi-line human-readable description.
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  Bytes input_bytes_per_sample_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_GRAPH_MODEL_H_

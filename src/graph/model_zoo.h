@@ -1,0 +1,122 @@
+// Model builders and the Fig. 1 model-growth catalogue.
+//
+// The transformer builder uses the standard closed-form estimates:
+//   params/layer      = 12 h^2 + 13 h           (attention + MLP + norms)
+//   fwd FLOPs/sample  = 24 s h^2 + 4 s^2 h      (projections + attention + MLP)
+//   bwd FLOPs         = 2x forward
+//   stash/sample      = stash_factor * s * h * dtype  (attention scores, GeLU inputs, ...)
+// which reproduce BERT-large at ~333M parameters and GPT-2 XL at ~1.5B.
+#ifndef HARMONY_SRC_GRAPH_MODEL_ZOO_H_
+#define HARMONY_SRC_GRAPH_MODEL_ZOO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/model.h"
+#include "src/util/status.h"
+
+namespace harmony {
+
+enum class OptimizerKind {
+  kSgd,       // no state
+  kMomentum,  // 1x params
+  kAdam,      // 2x params
+};
+
+double OptimizerStateFactor(OptimizerKind kind);
+
+struct TransformerConfig {
+  std::string name = "transformer";
+  int num_layers = 12;
+  int hidden = 768;
+  int seq_len = 512;
+  int vocab = 30522;
+  Bytes dtype_bytes = 4;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  // Internal stashed-tensor multiplier, in units of (seq_len * hidden * dtype) per layer per
+  // sample. ~30 covers attention score/prob matrices (heads * s^2), QKV projections, the 4h
+  // MLP intermediates and dropout masks at s=512, h=1024.
+  double stash_factor = 30.0;
+};
+
+// Embedding layer + num_layers transformer blocks (tied LM head, like GPT-2/BERT).
+Model MakeTransformerLm(const TransformerConfig& config);
+
+// Paper workloads.
+Model MakeBertBase(OptimizerKind optimizer = OptimizerKind::kAdam);
+Model MakeBertLarge(OptimizerKind optimizer = OptimizerKind::kAdam);
+Model MakeGpt2Xl(OptimizerKind optimizer = OptimizerKind::kAdam);  // 1.5B params
+
+// R identical layers with the given per-layer costs; the workhorse for unit tests and the
+// analytic-model verification (it matches the paper's "one type of layer, same runtime and
+// footprint per layer" assumption in Sec. 3).
+struct UniformModelConfig {
+  std::string name = "uniform";
+  int num_layers = 4;
+  Bytes param_bytes = 64 * kMiB;
+  Bytes act_bytes_per_sample = 16 * kMiB;
+  Bytes stash_bytes_per_sample = 0;
+  Bytes workspace_bytes_per_sample = 0;
+  double fwd_flops_per_sample = 1e9;
+  double optimizer_state_factor = 1.0;
+};
+Model MakeUniformModel(const UniformModelConfig& config);
+
+// A small MLP (Linear layers only); mirrors numeric::MlpNet so timing plans can be replayed
+// numerically. Dims are the layer widths, e.g. {8, 16, 4} = two Linear layers.
+Model MakeMlp(const std::vector<int>& dims, Bytes dtype_bytes = 8);
+
+// ---- Convolutional / recurrent cost models (the rest of the Fig. 1 catalogue) ------------
+//
+// Standard closed forms: a KxK conv (in -> out channels on an HxW map) costs
+// 2 K^2 Cin Cout H W FLOPs and K^2 Cin Cout parameters; an LSTM layer with input x and
+// hidden h costs 4 h (x + h + 1) parameters and ~2 params FLOPs per token.
+
+struct ConvLayerSpec {
+  int in_channels;
+  int out_channels;
+  int kernel;
+  int out_height;
+  int out_width;
+};
+
+struct FcLayerSpec {
+  int in_features;
+  int out_features;
+};
+
+// Appends a conv/fc layer with derived costs to `model` (exposed for custom nets).
+void AddConvLayer(Model* model, const std::string& name, const ConvLayerSpec& spec,
+                  double opt_factor, Bytes dtype_bytes = 4);
+void AddFcLayer(Model* model, const std::string& name, const FcLayerSpec& spec,
+                double opt_factor, Bytes dtype_bytes = 4);
+void AddLstmLayer(Model* model, const std::string& name, int input_size, int hidden_size,
+                  int seq_len, double opt_factor, Bytes dtype_bytes = 4);
+
+// LeNet-5 (1998): ~60K parameters.
+Model MakeLeNet(OptimizerKind optimizer = OptimizerKind::kSgd);
+// AlexNet (2012): ~61M parameters (dominated by the FC layers).
+Model MakeAlexNet(OptimizerKind optimizer = OptimizerKind::kMomentum);
+// GNMT-class encoder-decoder LSTM (2016): ~280M parameters.
+Model MakeGnmt(OptimizerKind optimizer = OptimizerKind::kAdam);
+// AmoebaNet-class NAS network (2018): ~557M parameters, approximated as a deep conv stack
+// with the published parameter budget.
+Model MakeAmoebaNet(OptimizerKind optimizer = OptimizerKind::kAdam);
+
+// Looks a model up by catalogue-ish name ("lenet", "alexnet", "gnmt", "amoebanet",
+// "bert-base", "bert-large", "gpt2-xl", "toy"); used by the CLI and tests.
+StatusOr<Model> ModelByName(const std::string& name);
+
+// Fig. 1: two decades of model growth.
+struct CatalogueEntry {
+  std::string name;
+  int year;
+  std::int64_t params;
+  std::string task;  // "image classification" or "language modeling"
+};
+std::vector<CatalogueEntry> Fig1Catalogue();
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_GRAPH_MODEL_ZOO_H_

@@ -1,0 +1,69 @@
+#include "src/graph/partition.h"
+
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+std::vector<int> PartitionContiguousMinMax(const std::vector<double>& costs, int parts) {
+  const int n = static_cast<int>(costs.size());
+  HCHECK_GT(parts, 0);
+  HCHECK_GT(n, 0);
+
+  std::vector<double> prefix(static_cast<std::size_t>(n + 1), 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[static_cast<std::size_t>(i + 1)] =
+        prefix[static_cast<std::size_t>(i)] + costs[static_cast<std::size_t>(i)];
+  }
+  auto range_cost = [&](int a, int b) {
+    return prefix[static_cast<std::size_t>(b)] - prefix[static_cast<std::size_t>(a)];
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // best[k][i]: minimal max-cost splitting the first i items into k parts; ties prefer
+  // solutions with fewer empty parts (empty pipeline stages waste a whole device).
+  std::vector<std::vector<double>> best(
+      static_cast<std::size_t>(parts + 1),
+      std::vector<double>(static_cast<std::size_t>(n + 1), kInf));
+  std::vector<std::vector<int>> empties(
+      static_cast<std::size_t>(parts + 1),
+      std::vector<int>(static_cast<std::size_t>(n + 1), n + parts));
+  std::vector<std::vector<int>> cut(
+      static_cast<std::size_t>(parts + 1), std::vector<int>(static_cast<std::size_t>(n + 1), 0));
+  best[0][0] = 0.0;
+  empties[0][0] = 0;
+  for (int k = 1; k <= parts; ++k) {
+    for (int i = 0; i <= n; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        const double prev = best[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(j)];
+        if (prev == kInf) {
+          continue;
+        }
+        const double candidate = std::max(prev, range_cost(j, i));
+        const int empty =
+            empties[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(j)] +
+            (j == i ? 1 : 0);
+        double& best_cost = best[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+        int& best_empty = empties[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+        if (candidate < best_cost ||
+            (candidate == best_cost && empty < best_empty)) {
+          best_cost = candidate;
+          best_empty = empty;
+          cut[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = j;
+        }
+      }
+    }
+  }
+
+  std::vector<int> boundaries(static_cast<std::size_t>(parts + 1), 0);
+  boundaries[static_cast<std::size_t>(parts)] = n;
+  int at = n;
+  for (int k = parts; k >= 1; --k) {
+    at = cut[static_cast<std::size_t>(k)][static_cast<std::size_t>(at)];
+    boundaries[static_cast<std::size_t>(k - 1)] = at;
+  }
+  return boundaries;
+}
+
+}  // namespace harmony

@@ -1,0 +1,17 @@
+// Contiguous min-max partitioning, used to form compute-balanced pipeline stages.
+#ifndef HARMONY_SRC_GRAPH_PARTITION_H_
+#define HARMONY_SRC_GRAPH_PARTITION_H_
+
+#include <vector>
+
+namespace harmony {
+
+// Splits items [0, costs.size()) into `parts` contiguous ranges minimizing the maximum
+// per-range cost sum (classic linear-partition DP). Returns `parts + 1` boundaries with
+// boundaries[0] == 0 and boundaries[parts] == costs.size(); some ranges may be empty when
+// parts > items.
+std::vector<int> PartitionContiguousMinMax(const std::vector<double>& costs, int parts);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_GRAPH_PARTITION_H_

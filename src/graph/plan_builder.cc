@@ -1,0 +1,336 @@
+#include "src/graph/plan_builder.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+PlanBuilder::PlanBuilder(const Model* model, TensorRegistry* registry, int num_devices,
+                         DecomposerOptions options)
+    : model_(model), registry_(registry), options_(options) {
+  HCHECK_GT(num_devices, 0);
+  HCHECK_GT(options.num_replicas, 0);
+  HCHECK_GT(options.microbatches, 0);
+  HCHECK_GT(options.microbatch_size, 0);
+  HCHECK_GT(options.iterations, 0);
+  plan_.per_device_order.resize(static_cast<std::size_t>(num_devices));
+  plan_.num_iterations = options.iterations;
+  plan_.microbatch_size = options.microbatch_size;
+  plan_.samples_per_iteration =
+      options.num_replicas * options.microbatches * options.microbatch_size;
+}
+
+Bytes PlanBuilder::ActBytes(int layer) const {
+  return model_->activation_bytes_per_sample(layer) * options_.microbatch_size;
+}
+
+Bytes PlanBuilder::ShardBytes(Bytes bytes) const {
+  if (options_.weight_shards <= 1) {
+    return bytes;
+  }
+  return (bytes + options_.weight_shards - 1) / options_.weight_shards;
+}
+
+double PlanBuilder::ShardFlops(double flops) const {
+  return flops / static_cast<double>(options_.weight_shards);
+}
+
+TensorId PlanBuilder::Weight(int layer, int replica) {
+  const auto key = std::make_pair(layer, replica);
+  auto it = weights_.find(key);
+  if (it != weights_.end()) {
+    return it->second;
+  }
+  const Layer& l = model_->layer(layer);
+  const TensorId id = registry_->Create(
+      "W[" + l.name + "]r" + std::to_string(replica), ShardBytes(l.cost.param_bytes),
+      TensorClass::kWeight, /*host_valid=*/true, layer, -1, replica);
+  weights_.emplace(key, id);
+  return id;
+}
+
+TensorId PlanBuilder::OptState(int layer, int replica) {
+  const Layer& l = model_->layer(layer);
+  if (l.cost.opt_state_bytes == 0) {
+    return kInvalidTensor;
+  }
+  const auto key = std::make_pair(layer, replica);
+  auto it = opt_states_.find(key);
+  if (it != opt_states_.end()) {
+    return it->second;
+  }
+  const TensorId id = registry_->Create(
+      "K[" + l.name + "]r" + std::to_string(replica), ShardBytes(l.cost.opt_state_bytes),
+      TensorClass::kOptimizerState, /*host_valid=*/true, layer, -1, replica);
+  opt_states_.emplace(key, id);
+  return id;
+}
+
+TensorId PlanBuilder::WeightGrad(int layer, int replica) {
+  const auto key = std::make_tuple(iteration_, layer, replica);
+  auto it = grads_.find(key);
+  if (it != grads_.end()) {
+    return it->second;
+  }
+  const Layer& l = model_->layer(layer);
+  const TensorId id = registry_->Create(
+      "dW[" + l.name + "]r" + std::to_string(replica) + "i" + std::to_string(iteration_),
+      ShardBytes(l.cost.grad_bytes), TensorClass::kWeightGrad, /*host_valid=*/false, layer, -1,
+      replica);
+  grads_.emplace(key, id);
+  return id;
+}
+
+TensorId PlanBuilder::Activation(int layer, int microbatch, int replica) {
+  const auto key = std::make_tuple(iteration_, layer, microbatch, replica);
+  auto it = acts_.find(key);
+  if (it != acts_.end()) {
+    return it->second;
+  }
+  const bool is_input = layer == 0;
+  const TensorId id = registry_->Create(
+      "X" + std::to_string(layer) + "mb" + std::to_string(microbatch) + "r" +
+          std::to_string(replica) + "i" + std::to_string(iteration_),
+      ActBytes(layer), is_input ? TensorClass::kInput : TensorClass::kActivation,
+      /*host_valid=*/is_input, layer - 1, microbatch, replica);
+  acts_.emplace(key, id);
+  return id;
+}
+
+TensorId PlanBuilder::ActGrad(int layer, int microbatch, int replica) {
+  HCHECK_GT(layer, 0) << "input gradients are never materialized";
+  const auto key = std::make_tuple(iteration_, layer, microbatch, replica);
+  auto it = act_grads_.find(key);
+  if (it != act_grads_.end()) {
+    return it->second;
+  }
+  const TensorId id = registry_->Create(
+      "dX" + std::to_string(layer) + "mb" + std::to_string(microbatch) + "r" +
+          std::to_string(replica) + "i" + std::to_string(iteration_),
+      ActBytes(layer), TensorClass::kActivationGrad, /*host_valid=*/false, layer - 1,
+      microbatch, replica);
+  act_grads_.emplace(key, id);
+  return id;
+}
+
+TensorId PlanBuilder::Stash(int layer, int microbatch, int replica) {
+  const Layer& l = model_->layer(layer);
+  if (options_.recompute || l.cost.stash_bytes_per_sample == 0) {
+    return kInvalidTensor;
+  }
+  const auto key = std::make_tuple(iteration_, layer, microbatch, replica);
+  auto it = stashes_.find(key);
+  if (it != stashes_.end()) {
+    return it->second;
+  }
+  const TensorId id = registry_->Create(
+      "S" + std::to_string(layer) + "mb" + std::to_string(microbatch) + "r" +
+          std::to_string(replica) + "i" + std::to_string(iteration_),
+      l.cost.stash_bytes_per_sample * options_.microbatch_size, TensorClass::kActivation,
+      /*host_valid=*/false, layer, microbatch, replica);
+  stashes_.emplace(key, id);
+  return id;
+}
+
+Task& PlanBuilder::NewTask(TaskKind kind, int device, int layer_begin, int layer_end,
+                           int microbatch, int replica) {
+  HCHECK_GE(device, 0);
+  HCHECK_LT(device, plan_.num_devices());
+  Task task;
+  task.id = static_cast<TaskId>(plan_.tasks.size());
+  task.kind = kind;
+  task.device = device;
+  task.iteration = iteration_;
+  task.layer_begin = layer_begin;
+  task.layer_end = layer_end;
+  task.microbatch = microbatch;
+  task.replica = replica;
+  plan_.tasks.push_back(std::move(task));
+  plan_.per_device_order[static_cast<std::size_t>(device)].push_back(plan_.tasks.back().id);
+  return plan_.tasks.back();
+}
+
+TaskId PlanBuilder::AddForward(int device, int layer_begin, int layer_end, int microbatch,
+                               int replica, std::vector<TaskId> deps) {
+  HCHECK_LT(layer_begin, layer_end);
+  HCHECK_LE(layer_end, num_layers());
+  Task& task = NewTask(TaskKind::kForward, device, layer_begin, layer_end, microbatch, replica);
+  task.deps = std::move(deps);
+
+  task.working_set.fetch.push_back(Activation(layer_begin, microbatch, replica));
+  Bytes transient = 0;
+  for (int l = layer_begin; l < layer_end; ++l) {
+    const Layer& layer = model_->layer(l);
+    task.working_set.fetch.push_back(Weight(l, replica));
+    task.flops += ShardFlops(layer.cost.fwd_flops_per_sample) *
+                  static_cast<double>(options_.microbatch_size);
+    transient = std::max(transient, layer.cost.workspace_bytes_per_sample *
+                                        options_.microbatch_size);
+    const bool boundary = l == layer_end - 1;
+    if (options_.recompute) {
+      // Internal activations/stashes live only within the task.
+      if (!boundary) {
+        transient += ActBytes(l + 1);
+      }
+      transient += layer.cost.stash_bytes_per_sample * options_.microbatch_size;
+    } else {
+      const TensorId out = Activation(l + 1, microbatch, replica);
+      task.working_set.allocate.push_back(out);
+      task.dirty_outputs.push_back(out);
+      const TensorId stash = Stash(l, microbatch, replica);
+      if (stash != kInvalidTensor) {
+        task.working_set.allocate.push_back(stash);
+        task.dirty_outputs.push_back(stash);
+      }
+    }
+  }
+  if (options_.recompute) {
+    const TensorId out = Activation(layer_end, microbatch, replica);
+    task.working_set.allocate.push_back(out);
+    task.dirty_outputs.push_back(out);
+  }
+  task.working_set.scratch_bytes = transient;
+  return task.id;
+}
+
+TaskId PlanBuilder::AddLoss(int device, int microbatch, int replica, std::vector<TaskId> deps) {
+  const int R = num_layers();
+  Task& task = NewTask(TaskKind::kLoss, device, R, R, microbatch, replica);
+  task.deps = std::move(deps);
+  const TensorId logits = Activation(R, microbatch, replica);
+  const TensorId grad = ActGrad(R, microbatch, replica);
+  task.working_set.fetch.push_back(logits);
+  task.working_set.allocate.push_back(grad);
+  task.dirty_outputs.push_back(grad);
+  task.free_after.push_back(logits);
+  task.flops = static_cast<double>(ActBytes(R)) / 2.0;  // elementwise over the logits
+  return task.id;
+}
+
+TaskId PlanBuilder::AddBackward(int device, int layer_begin, int layer_end, int microbatch,
+                                int replica, std::vector<TaskId> deps) {
+  HCHECK_LT(layer_begin, layer_end);
+  HCHECK_LE(layer_end, num_layers());
+  Task& task =
+      NewTask(TaskKind::kBackward, device, layer_begin, layer_end, microbatch, replica);
+  task.deps = std::move(deps);
+
+  const TensorId out_grad = ActGrad(layer_end, microbatch, replica);
+  task.working_set.fetch.push_back(out_grad);
+  task.free_after.push_back(out_grad);
+
+  Bytes transient = 0;
+  for (int l = layer_begin; l < layer_end; ++l) {
+    const Layer& layer = model_->layer(l);
+    task.working_set.fetch.push_back(Weight(l, replica));
+    const TensorId grad = WeightGrad(l, replica);
+    task.working_set.accumulate.push_back(grad);
+    task.dirty_outputs.push_back(grad);
+    task.flops += ShardFlops(layer.cost.bwd_flops_per_sample) *
+                  static_cast<double>(options_.microbatch_size);
+    transient = std::max(transient, 2 * layer.cost.workspace_bytes_per_sample *
+                                        options_.microbatch_size);
+
+    const bool is_pack_input = l == layer_begin;
+    if (options_.recompute) {
+      task.flops += ShardFlops(layer.cost.fwd_flops_per_sample) *
+                    static_cast<double>(options_.microbatch_size);
+      if (!is_pack_input) {
+        transient += ActBytes(l);
+      }
+      transient += layer.cost.stash_bytes_per_sample * options_.microbatch_size;
+    } else {
+      const TensorId act = Activation(l, microbatch, replica);
+      task.working_set.fetch.push_back(act);
+      task.free_after.push_back(act);
+      const TensorId stash = Stash(l, microbatch, replica);
+      if (stash != kInvalidTensor) {
+        task.working_set.fetch.push_back(stash);
+        task.free_after.push_back(stash);
+      }
+    }
+  }
+  if (options_.recompute) {
+    const TensorId act = Activation(layer_begin, microbatch, replica);
+    task.working_set.fetch.push_back(act);
+    task.free_after.push_back(act);
+  }
+  if (layer_begin > 0) {
+    const TensorId in_grad = ActGrad(layer_begin, microbatch, replica);
+    task.working_set.allocate.push_back(in_grad);
+    task.dirty_outputs.push_back(in_grad);
+  }
+  task.working_set.scratch_bytes = transient;
+  return task.id;
+}
+
+TaskId PlanBuilder::AddUpdate(int device, int layer_begin, int layer_end, int replica,
+                              std::vector<TaskId> deps) {
+  HCHECK_LT(layer_begin, layer_end);
+  HCHECK_LE(layer_end, num_layers());
+  Task& task = NewTask(TaskKind::kUpdate, device, layer_begin, layer_end, -1, replica);
+  task.deps = std::move(deps);
+  for (int l = layer_begin; l < layer_end; ++l) {
+    const TensorId w = Weight(l, replica);
+    const TensorId grad = WeightGrad(l, replica);
+    task.working_set.fetch.push_back(w);
+    task.working_set.fetch.push_back(grad);
+    task.dirty_outputs.push_back(w);
+    task.free_after.push_back(grad);  // "reset dW'" in Fig. 5(a)
+    const TensorId opt = OptState(l, replica);
+    if (opt != kInvalidTensor) {
+      task.working_set.fetch.push_back(opt);
+      task.dirty_outputs.push_back(opt);
+    }
+    task.flops += ShardFlops(model_->layer(l).cost.upd_flops);
+  }
+  return task.id;
+}
+
+TaskId PlanBuilder::AddAllReduce(int device, int layer_begin, int layer_end, int replica,
+                                 int group, std::vector<TaskId> deps) {
+  HCHECK_LT(layer_begin, layer_end);
+  HCHECK_LE(layer_end, num_layers());
+  Task& task = NewTask(TaskKind::kAllReduce, device, layer_begin, layer_end, -1, replica);
+  task.deps = std::move(deps);
+  task.collective_group = group;
+  for (int l = layer_begin; l < layer_end; ++l) {
+    const TensorId grad = WeightGrad(l, replica);
+    task.working_set.fetch.push_back(grad);
+    task.dirty_outputs.push_back(grad);
+    task.collective_bytes += ShardBytes(model_->layer(l).cost.grad_bytes);
+  }
+  return task.id;
+}
+
+TaskId PlanBuilder::AddActivationAllReduce(int device, int layer, int microbatch,
+                                           int replica, bool grad, int group,
+                                           std::vector<TaskId> deps) {
+  Task& task = NewTask(TaskKind::kAllReduce, device, layer, layer, microbatch, replica);
+  task.deps = std::move(deps);
+  task.collective_group = group;
+  task.collective_data =
+      grad ? Task::CollectiveData::kActivationGrad : Task::CollectiveData::kActivation;
+  const TensorId tensor =
+      grad ? ActGrad(layer, microbatch, replica) : Activation(layer, microbatch, replica);
+  task.working_set.fetch.push_back(tensor);
+  task.dirty_outputs.push_back(tensor);
+  task.collective_bytes = registry_->meta(tensor).bytes;
+  return task.id;
+}
+
+void PlanBuilder::AddDep(TaskId task, TaskId dep) {
+  HCHECK_GE(task, 0);
+  HCHECK_GE(dep, 0);
+  HCHECK_LT(task, static_cast<TaskId>(plan_.tasks.size()));
+  HCHECK_LT(dep, static_cast<TaskId>(plan_.tasks.size()));
+  plan_.tasks[static_cast<std::size_t>(task)].deps.push_back(dep);
+}
+
+Plan PlanBuilder::Finish(std::string scheme) {
+  plan_.scheme = std::move(scheme);
+  return std::move(plan_);
+}
+
+}  // namespace harmony

@@ -1,0 +1,117 @@
+// PlanBuilder: the Task Decomposer (Fig. 3, left box).
+//
+// Splits model-wise operations into fine-grained tasks — forward / backward / update over a
+// layer pack [layer_begin, layer_end) and one microbatch — creates every tensor each task
+// touches (weights, gradient buffers, optimizer state, boundary activations, internal
+// stashes, activation gradients), and records precise working sets and lifetimes. Schedulers
+// (baseline and Harmony) differ only in which tasks they emit, in what per-device order, and
+// with which memory policy; the decomposition logic lives here once.
+//
+// Tensor lifetime rules encoded by the builder (Fig. 5(a) of the paper):
+//   FWD  in: X[lb], W[lb..le)            out: X[lb+1..le], stashes
+//   LOSS in: X[R]                        out: dX[R]             frees X[R]
+//   BWD  in: X,S,W of the pack, dX[le]   out: dX[lb], dW+=      frees X, S, dX[le]
+//   UPD  in: W, dW, K                    out: W', K'            frees dW ("reset dW'")
+//
+// With `recompute` enabled, forward keeps only the pack's boundary activation and backward
+// re-runs the pack's forward math (Chen et al. sublinear-memory training), trading FLOPs and
+// scratch for stash memory — the knob discussed in the paper's "memory-performance tango".
+#ifndef HARMONY_SRC_GRAPH_PLAN_BUILDER_H_
+#define HARMONY_SRC_GRAPH_PLAN_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/graph/model.h"
+#include "src/graph/task.h"
+#include "src/mem/tensor.h"
+
+namespace harmony {
+
+struct DecomposerOptions {
+  // Weight replicas: N for data parallelism, 1 for pipeline parallelism. Under intra-op
+  // (tensor-parallel) splitting the "replica" index doubles as the shard index.
+  int num_replicas = 1;
+  // Microbatches per replica (DP) or in the whole minibatch (PP).
+  int microbatches = 1;
+  int microbatch_size = 1;
+  int iterations = 1;
+  bool recompute = false;
+  // Intra-op splitting (the paper's second key idea: "decompose individual operations —
+  // such as a matrix multiplication — into subtasks that can run on different physical
+  // devices"). Each replica index then holds 1/weight_shards of every layer's weights,
+  // gradients and optimizer state, and compute tasks carry 1/weight_shards of the FLOPs;
+  // activations stay full-size per shard (row-parallel partials reduced by collectives).
+  int weight_shards = 1;
+};
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const Model* model, TensorRegistry* registry, int num_devices,
+              DecomposerOptions options);
+
+  // Tasks added after this call belong to iteration `iter`; per-iteration tensors
+  // (activations, gradients) are distinct across iterations, persistent state (W, K) is not.
+  void BeginIteration(int iter) { iteration_ = iter; }
+
+  // ---- tensors (created lazily on first use) ----
+  TensorId Weight(int layer, int replica);
+  TensorId OptState(int layer, int replica);  // kInvalidTensor when the optimizer is stateless
+  TensorId WeightGrad(int layer, int replica);
+  TensorId Activation(int layer, int microbatch, int replica);  // X[0..R]
+  TensorId ActGrad(int layer, int microbatch, int replica);     // dX[1..R]
+  TensorId Stash(int layer, int microbatch, int replica);       // kInvalidTensor if stashless
+
+  // ---- tasks; each call appends to `device`'s execution queue in call order ----
+  TaskId AddForward(int device, int layer_begin, int layer_end, int microbatch, int replica,
+                    std::vector<TaskId> deps);
+  TaskId AddLoss(int device, int microbatch, int replica, std::vector<TaskId> deps);
+  TaskId AddBackward(int device, int layer_begin, int layer_end, int microbatch, int replica,
+                     std::vector<TaskId> deps);
+  TaskId AddUpdate(int device, int layer_begin, int layer_end, int replica,
+                   std::vector<TaskId> deps);
+  TaskId AddAllReduce(int device, int layer_begin, int layer_end, int replica, int group,
+                      std::vector<TaskId> deps);
+
+  // Activation collective for intra-op splitting: reduces the row-parallel partial outputs
+  // X[layer] (or partial input gradients dX[layer] when `grad`) of one microbatch across
+  // shards. One task per shard, rendezvousing via `group`.
+  TaskId AddActivationAllReduce(int device, int layer, int microbatch, int replica, bool grad,
+                                int group, std::vector<TaskId> deps);
+
+  // Wires an extra dependency after both tasks exist (needed when queue emission order
+  // differs from dependency order, e.g. 1F1B backward edges pointing at later stages).
+  void AddDep(TaskId task, TaskId dep);
+
+  const Model& model() const { return *model_; }
+  const DecomposerOptions& options() const { return options_; }
+  int num_layers() const { return model_->num_layers(); }
+
+  Plan Finish(std::string scheme);
+
+ private:
+  Task& NewTask(TaskKind kind, int device, int layer_begin, int layer_end, int microbatch,
+                int replica);
+  Bytes ActBytes(int layer) const;
+  Bytes ShardBytes(Bytes bytes) const;
+  double ShardFlops(double flops) const;
+
+  const Model* model_;
+  TensorRegistry* registry_;
+  DecomposerOptions options_;
+  int iteration_ = 0;
+  Plan plan_;
+
+  std::map<std::pair<int, int>, TensorId> weights_;      // (layer, replica)
+  std::map<std::pair<int, int>, TensorId> opt_states_;   // (layer, replica)
+  std::map<std::tuple<int, int, int>, TensorId> grads_;  // (iter, layer, replica)
+  std::map<std::tuple<int, int, int, int>, TensorId> acts_;       // (iter, layer, mb, replica)
+  std::map<std::tuple<int, int, int, int>, TensorId> act_grads_;  // (iter, layer, mb, replica)
+  std::map<std::tuple<int, int, int, int>, TensorId> stashes_;    // (iter, layer, mb, replica)
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_GRAPH_PLAN_BUILDER_H_

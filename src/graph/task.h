@@ -1,0 +1,92 @@
+// Task IR: the unit of scheduling in Harmony.
+//
+// The Task Decomposer splits a training iteration into fine-grained tasks — forward,
+// backward, and weight update per (layer pack, microbatch) — exactly as in Fig. 3 of the
+// paper. A Plan binds tasks to devices with an explicit per-device execution order plus
+// cross-device dependency edges; the runtime engine executes Plans against the simulated
+// machine, and the numeric substrate can replay the same Plan with real math.
+#ifndef HARMONY_SRC_GRAPH_TASK_H_
+#define HARMONY_SRC_GRAPH_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mem/memory_manager.h"
+#include "src/mem/tensor.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace harmony {
+
+using TaskId = int;
+inline constexpr TaskId kInvalidTask = -1;
+
+enum class TaskKind {
+  kForward,
+  kLoss,      // loss + output-gradient computation (virtual layer after the last layer)
+  kBackward,
+  kUpdate,
+  kAllReduce,  // data-parallel gradient reduction (rendezvous across replicas)
+};
+
+const char* TaskKindName(TaskKind kind);
+
+struct Task {
+  TaskId id = kInvalidTask;
+  TaskKind kind = TaskKind::kForward;
+  int device = -1;
+  int iteration = 0;
+
+  // Layer pack [layer_begin, layer_end); for kLoss both equal num_layers.
+  int layer_begin = 0;
+  int layer_end = 0;
+  // Microbatch this instance operates on; -1 for per-model tasks (update, allreduce).
+  int microbatch = -1;
+  // Data-parallel replica index; 0 when weights are not replicated.
+  int replica = 0;
+
+  std::vector<TaskId> deps;
+
+  WorkingSet working_set;
+  std::vector<TensorId> dirty_outputs;  // marked dirty on completion
+  std::vector<TensorId> free_after;     // freed on completion (end of lifetime)
+
+  double flops = 0.0;  // compute cost; duration = flops / device effective FLOP/s
+
+  // kAllReduce: tasks sharing a group rendezvous and move `collective_bytes` per device
+  // around the ring. `collective_data` records what is being reduced so semantic replay
+  // (numeric::PlanExecutor) can apply the right math; the timing engine ignores it.
+  enum class CollectiveData { kWeightGrad, kActivation, kActivationGrad };
+  int collective_group = -1;
+  Bytes collective_bytes = 0;
+  CollectiveData collective_data = CollectiveData::kWeightGrad;
+
+  std::string DebugName() const;
+};
+
+struct Plan {
+  std::string scheme;  // e.g. "baseline-dp", "harmony-pp"
+  std::vector<Task> tasks;
+  std::vector<std::vector<TaskId>> per_device_order;
+  int num_iterations = 1;
+  int microbatch_size = 1;
+  // Samples consumed per iteration (for throughput reporting).
+  int samples_per_iteration = 0;
+
+  int num_devices() const { return static_cast<int>(per_device_order.size()); }
+
+  // Structural validation: ids consistent, every task appears exactly once in exactly one
+  // device order, deps reference earlier-created tasks, the dependency graph plus per-device
+  // order is acyclic, and every collective group has one task per participating device.
+  Status Validate() const;
+
+  // Largest single-task working set per device; must fit in device memory for the plan to
+  // be executable.
+  std::vector<Bytes> PeakTaskWorkingSet(const TensorRegistry& registry) const;
+
+  std::string Stats() const;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_GRAPH_TASK_H_

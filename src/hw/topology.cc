@@ -1,0 +1,227 @@
+#include "src/hw/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+NodeId Topology::AddNode(NodeKind kind, std::string name) {
+  HCHECK(!finalized_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  TopologyNode node{kind, std::move(name), -1};
+  if (kind == NodeKind::kHost) {
+    if (host_node_ == kInvalidNode) {
+      host_node_ = id;
+    }
+    host_nodes_.push_back(id);
+  } else if (kind == NodeKind::kGpu) {
+    node.gpu_index = static_cast<int>(gpu_nodes_.size());
+    gpu_nodes_.push_back(id);
+  }
+  nodes_.push_back(std::move(node));
+  out_links_.emplace_back();
+  return id;
+}
+
+void Topology::AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec) {
+  HCHECK(!finalized_);
+  HCHECK_NE(a, b);
+  HCHECK_GE(a, 0);
+  HCHECK_GE(b, 0);
+  HCHECK_LT(a, num_nodes());
+  HCHECK_LT(b, num_nodes());
+  const LinkId forward = static_cast<LinkId>(links_.size());
+  links_.push_back(TopologyLink{a, b, spec});
+  out_links_[static_cast<std::size_t>(a)].push_back(forward);
+  const LinkId backward = static_cast<LinkId>(links_.size());
+  links_.push_back(TopologyLink{b, a, spec});
+  out_links_[static_cast<std::size_t>(b)].push_back(backward);
+}
+
+void Topology::Finalize() {
+  HCHECK(!finalized_);
+  HCHECK_NE(host_node_, kInvalidNode) << "topology needs a host node";
+  const int n = num_nodes();
+  routes_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
+
+  // BFS from each source. out_links_ entries are visited in insertion order, which makes the
+  // tie-break deterministic.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<LinkId> in_link(static_cast<std::size_t>(n), -1);
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::deque<NodeId> frontier;
+    visited[static_cast<std::size_t>(src)] = true;
+    frontier.push_back(src);
+    while (!frontier.empty()) {
+      const NodeId at = frontier.front();
+      frontier.pop_front();
+      for (LinkId lid : out_links_[static_cast<std::size_t>(at)]) {
+        const NodeId next = links_[static_cast<std::size_t>(lid)].dst;
+        if (!visited[static_cast<std::size_t>(next)]) {
+          visited[static_cast<std::size_t>(next)] = true;
+          in_link[static_cast<std::size_t>(next)] = lid;
+          frontier.push_back(next);
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst == src) {
+        continue;
+      }
+      HCHECK(visited[static_cast<std::size_t>(dst)])
+          << "topology is disconnected: no path " << src << " -> " << dst;
+      std::vector<LinkId> path;
+      for (NodeId at = dst; at != src;) {
+        const LinkId lid = in_link[static_cast<std::size_t>(at)];
+        path.push_back(lid);
+        at = links_[static_cast<std::size_t>(lid)].src;
+      }
+      std::reverse(path.begin(), path.end());
+      routes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(dst)] = std::move(path);
+    }
+  }
+  finalized_ = true;
+
+  // Each GPU swaps to its nearest host (fewest hops; ties to the lowest host id).
+  gpu_swap_host_.clear();
+  for (NodeId gpu : gpu_nodes_) {
+    NodeId best = host_nodes_.front();
+    std::size_t best_hops = Route(gpu, best).size();
+    for (NodeId host : host_nodes_) {
+      const std::size_t hops = Route(gpu, host).size();
+      if (hops < best_hops) {
+        best = host;
+        best_hops = hops;
+      }
+    }
+    gpu_swap_host_.push_back(best);
+  }
+}
+
+const std::vector<LinkId>& Topology::Route(NodeId src, NodeId dst) const {
+  HCHECK(finalized_);
+  HCHECK_GE(src, 0);
+  HCHECK_GE(dst, 0);
+  HCHECK_LT(src, num_nodes());
+  HCHECK_LT(dst, num_nodes());
+  return routes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_nodes()) +
+                 static_cast<std::size_t>(dst)];
+}
+
+bool Topology::RouteAvoidsHost(NodeId src, NodeId dst) const {
+  if (src == dst) {
+    return true;
+  }
+  for (LinkId lid : Route(src, dst)) {
+    const TopologyLink& l = link(lid);
+    if (node(l.src).kind == NodeKind::kHost || node(l.dst).kind == NodeKind::kHost) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Topology::DescribeRoutes() const {
+  std::ostringstream os;
+  auto describe = [&](NodeId src, NodeId dst) {
+    os << node(src).name << " -> " << node(dst).name << ": ";
+    const auto& route = Route(src, dst);
+    for (std::size_t i = 0; i < route.size(); ++i) {
+      const TopologyLink& l = link(route[i]);
+      if (i == 0) {
+        os << node(l.src).name;
+      }
+      os << " --[" << l.spec.name << "]--> " << node(l.dst).name;
+    }
+    os << "\n";
+  };
+  for (int g = 0; g < num_gpus(); ++g) {
+    describe(gpu_node(g), host_node());
+  }
+  for (int a = 0; a < num_gpus(); ++a) {
+    for (int b = 0; b < num_gpus(); ++b) {
+      if (a != b) {
+        describe(gpu_node(a), gpu_node(b));
+      }
+    }
+  }
+  return os.str();
+}
+
+Topology MakeCommodityServerTopology(const ServerConfig& config) {
+  HCHECK_GT(config.num_gpus, 0);
+  HCHECK_GT(config.gpus_per_switch, 0);
+  Topology topo;
+  const NodeId host = topo.AddNode(NodeKind::kHost, "host");
+  const int num_switches =
+      (config.num_gpus + config.gpus_per_switch - 1) / config.gpus_per_switch;
+  std::vector<NodeId> switches;
+  switches.reserve(static_cast<std::size_t>(num_switches));
+  for (int s = 0; s < num_switches; ++s) {
+    const NodeId sw = topo.AddNode(NodeKind::kSwitch, "pcie-sw" + std::to_string(s));
+    topo.AddDuplexLink(sw, host, config.host_link);
+    switches.push_back(sw);
+  }
+  for (int g = 0; g < config.num_gpus; ++g) {
+    const NodeId gpu = topo.AddNode(NodeKind::kGpu, "gpu" + std::to_string(g));
+    const NodeId sw = switches[static_cast<std::size_t>(g / config.gpus_per_switch)];
+    topo.AddDuplexLink(gpu, sw, config.gpu_link);
+  }
+  topo.Finalize();
+  return topo;
+}
+
+Machine MakeCommodityServer(const ServerConfig& config) {
+  Machine machine;
+  machine.topology = MakeCommodityServerTopology(config);
+  machine.gpus.assign(static_cast<std::size_t>(config.num_gpus), config.gpu);
+  machine.p2p_enabled = config.p2p_enabled;
+  return machine;
+}
+
+Topology MakeClusterTopology(const ClusterConfig& config) {
+  HCHECK_GT(config.num_servers, 0);
+  const ServerConfig& server = config.server;
+  HCHECK_GT(server.num_gpus, 0);
+  HCHECK_GT(server.gpus_per_switch, 0);
+
+  Topology topo;
+  const NodeId fabric = topo.AddNode(NodeKind::kSwitch, "fabric");
+  for (int s = 0; s < config.num_servers; ++s) {
+    const std::string prefix = "s" + std::to_string(s) + ".";
+    const NodeId host = topo.AddNode(NodeKind::kHost, prefix + "host");
+    topo.AddDuplexLink(host, fabric, config.network);
+    const int num_switches =
+        (server.num_gpus + server.gpus_per_switch - 1) / server.gpus_per_switch;
+    std::vector<NodeId> switches;
+    for (int sw = 0; sw < num_switches; ++sw) {
+      const NodeId node = topo.AddNode(NodeKind::kSwitch, prefix + "pcie-sw" + std::to_string(sw));
+      topo.AddDuplexLink(node, host, server.host_link);
+      switches.push_back(node);
+    }
+    for (int g = 0; g < server.num_gpus; ++g) {
+      const NodeId gpu =
+          topo.AddNode(NodeKind::kGpu, prefix + "gpu" + std::to_string(g));
+      topo.AddDuplexLink(gpu, switches[static_cast<std::size_t>(g / server.gpus_per_switch)],
+                         server.gpu_link);
+    }
+  }
+  topo.Finalize();
+  return topo;
+}
+
+Machine MakeCluster(const ClusterConfig& config) {
+  Machine machine;
+  machine.topology = MakeClusterTopology(config);
+  machine.gpus.assign(
+      static_cast<std::size_t>(config.num_servers * config.server.num_gpus),
+      config.server.gpu);
+  machine.p2p_enabled = config.server.p2p_enabled;
+  return machine;
+}
+
+}  // namespace harmony

@@ -1,0 +1,139 @@
+// Intra-server interconnect topology: nodes (host, PCIe switches, GPUs) and full-duplex
+// links between them, with shortest-path routing.
+//
+// The canonical instance is MakeCommodityServer(): N GPUs behind PCIe switches whose single
+// x16 uplink to the host root complex is shared — the 4:1/8:1 oversubscription the paper
+// blames for the data-parallel swap bottleneck (Fig. 2(b)).
+#ifndef HARMONY_SRC_HW_TOPOLOGY_H_
+#define HARMONY_SRC_HW_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hw/specs.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace harmony {
+
+using NodeId = int;
+using LinkId = int;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class NodeKind {
+  kHost,    // CPU + host DRAM (swap target)
+  kSwitch,  // PCIe switch (no memory, just forwarding)
+  kGpu,
+};
+
+struct TopologyNode {
+  NodeKind kind;
+  std::string name;
+  int gpu_index = -1;  // dense GPU index for kGpu nodes, -1 otherwise
+};
+
+// Directed link (full-duplex physical links are two TopologyLink entries).
+struct TopologyLink {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  LinkSpec spec;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+
+  NodeId AddNode(NodeKind kind, std::string name);
+  // Adds a full-duplex link (two directed links) between a and b.
+  void AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec);
+
+  // Must be called once all nodes/links are added; computes BFS routes between every node
+  // pair (fewest hops; ties broken by smaller next-hop link id, deterministically).
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  int num_gpus() const { return static_cast<int>(gpu_nodes_.size()); }
+
+  const TopologyNode& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const TopologyLink& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+
+  // The first host node (single-server topologies have exactly one).
+  NodeId host_node() const { return host_node_; }
+  int num_hosts() const { return static_cast<int>(host_nodes_.size()); }
+  NodeId gpu_node(int gpu_index) const {
+    return gpu_nodes_.at(static_cast<std::size_t>(gpu_index));
+  }
+  // The nearest host to a GPU — its swap target. In a multi-server cluster each GPU swaps
+  // to its own server's DRAM, never across the network.
+  NodeId HostNodeForGpu(int gpu_index) const {
+    return gpu_swap_host_.at(static_cast<std::size_t>(gpu_index));
+  }
+
+  // Ordered link ids along the route src -> dst. Empty when src == dst. Fatal if unreachable.
+  const std::vector<LinkId>& Route(NodeId src, NodeId dst) const;
+
+  // True when src and dst are GPUs whose route avoids every host node — i.e. a p2p transfer
+  // that does not consume host-uplink bandwidth beyond the switch tier.
+  bool RouteAvoidsHost(NodeId src, NodeId dst) const;
+
+  // Human-readable route table for all GPU<->GPU and GPU<->host pairs (Fig. 2(b) companion).
+  std::string DescribeRoutes() const;
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  std::vector<TopologyLink> links_;
+  std::vector<std::vector<LinkId>> out_links_;  // per node
+  NodeId host_node_ = kInvalidNode;
+  std::vector<NodeId> host_nodes_;
+  std::vector<NodeId> gpu_nodes_;
+  std::vector<NodeId> gpu_swap_host_;  // per GPU, filled by Finalize
+  bool finalized_ = false;
+  // routes_[src * num_nodes + dst]
+  std::vector<std::vector<LinkId>> routes_;
+};
+
+struct ServerConfig {
+  int num_gpus = 4;
+  GpuSpec gpu = Gtx1080Ti();
+  // GPUs per PCIe switch; the switch uplink is one host_link regardless of how many GPUs sit
+  // below it, which is exactly the oversubscription in commodity 4U GPU servers.
+  int gpus_per_switch = 4;
+  LinkSpec gpu_link = PcieGen3x16();   // GPU <-> switch
+  LinkSpec host_link = PcieGen3x16();  // switch <-> host root complex
+  bool p2p_enabled = true;             // GPU<->GPU DMA through the switch tier
+};
+
+// Builds the commodity-server topology from `config`. GPU specs are carried alongside in the
+// returned Machine (see machine.h).
+Topology MakeCommodityServerTopology(const ServerConfig& config);
+
+// A machine = topology + per-GPU specs + config knobs the runtime needs.
+struct Machine {
+  Topology topology;
+  std::vector<GpuSpec> gpus;
+  bool p2p_enabled = true;
+
+  int num_gpus() const { return static_cast<int>(gpus.size()); }
+};
+
+Machine MakeCommodityServer(const ServerConfig& config);
+
+// Multi-server cluster (Sec. 4 of the paper): `num_servers` commodity servers whose host
+// root complexes attach to a shared datacenter fabric node over `network` links. GPUs are
+// indexed globally (server-major); each GPU swaps to its own server's host memory, and
+// cross-server tensor traffic crosses the (much slower) network tier.
+struct ClusterConfig {
+  int num_servers = 2;
+  ServerConfig server;        // per-server shape
+  LinkSpec network = Ethernet25G();
+};
+
+Topology MakeClusterTopology(const ClusterConfig& config);
+Machine MakeCluster(const ClusterConfig& config);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_HW_TOPOLOGY_H_

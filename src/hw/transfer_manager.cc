@@ -1,0 +1,171 @@
+#include "src/hw/transfer_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace harmony {
+namespace {
+
+// Flows with fewer remaining bytes than this are considered finished; guards against
+// floating-point residue keeping a flow alive forever.
+constexpr double kByteEpsilon = 1e-3;
+
+}  // namespace
+
+const char* TransferKindName(TransferKind kind) {
+  switch (kind) {
+    case TransferKind::kSwapIn:
+      return "swap-in";
+    case TransferKind::kSwapOut:
+      return "swap-out";
+    case TransferKind::kPeerToPeer:
+      return "p2p";
+    case TransferKind::kCollective:
+      return "collective";
+    case TransferKind::kInput:
+      return "input";
+    case TransferKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+TransferManager::TransferManager(Simulator* sim, const Topology* topology)
+    : sim_(sim), topology_(topology) {
+  HCHECK(sim != nullptr);
+  HCHECK(topology != nullptr);
+  HCHECK(topology->finalized());
+  link_active_.assign(static_cast<std::size_t>(topology->num_links()), 0);
+  link_stats_.assign(static_cast<std::size_t>(topology->num_links()), LinkStats{});
+}
+
+OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes,
+                                             TransferKind kind) {
+  HCHECK_GE(bytes, 0);
+  events_.push_back(std::make_unique<OneShotEvent>(sim_));
+  OneShotEvent* done = events_.back().get();
+
+  if (src == dst || bytes == 0) {
+    double latency = 0.0;
+    if (src != dst) {
+      for (LinkId lid : topology_->Route(src, dst)) {
+        latency += topology_->link(lid).spec.latency_sec;
+      }
+    }
+    sim_->ScheduleAfter(latency, [done] { done->Fire(); });
+    return done;
+  }
+
+  const std::vector<LinkId>& route = topology_->Route(src, dst);
+  HCHECK(!route.empty());
+  double latency = 0.0;
+  for (LinkId lid : route) {
+    latency += topology_->link(lid).spec.latency_sec;
+  }
+
+  const std::int64_t id = next_flow_id_++;
+  bytes_by_kind_[static_cast<std::size_t>(kind)] += bytes;
+
+  // The flow joins the network after its route latency; that keeps latency out of the
+  // bandwidth-sharing math while still delaying short transfers realistically.
+  sim_->ScheduleAfter(latency, [this, id, route, bytes, kind, done] {
+    AdvanceToNow();
+    Flow flow;
+    flow.id = id;
+    flow.route = route;
+    flow.bytes_remaining = static_cast<double>(bytes);
+    flow.bytes_total = bytes;
+    flow.kind = kind;
+    flow.done = done;
+    flows_.emplace(id, std::move(flow));
+    RecomputeRates();
+  });
+  return done;
+}
+
+Bytes TransferManager::total_bytes() const {
+  Bytes total = 0;
+  for (Bytes b : bytes_by_kind_) {
+    total += b;
+  }
+  return total;
+}
+
+void TransferManager::AdvanceToNow() {
+  const SimTime now = sim_->now();
+  const double dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0.0) {
+    return;
+  }
+  for (auto& [id, flow] : flows_) {
+    flow.bytes_remaining = std::max(0.0, flow.bytes_remaining - flow.rate * dt);
+  }
+  for (std::size_t lid = 0; lid < link_active_.size(); ++lid) {
+    if (link_active_[lid] > 0) {
+      link_stats_[lid].busy_time += dt;
+    }
+  }
+}
+
+void TransferManager::RecomputeRates() {
+  CompleteFinishedFlows();
+
+  std::fill(link_active_.begin(), link_active_.end(), 0);
+  for (const auto& [id, flow] : flows_) {
+    for (LinkId lid : flow.route) {
+      ++link_active_[static_cast<std::size_t>(lid)];
+    }
+  }
+  for (auto& [id, flow] : flows_) {
+    double rate = std::numeric_limits<double>::infinity();
+    for (LinkId lid : flow.route) {
+      const double share = topology_->link(lid).spec.bandwidth_bytes_per_sec /
+                           static_cast<double>(link_active_[static_cast<std::size_t>(lid)]);
+      rate = std::min(rate, share);
+    }
+    flow.rate = rate;
+  }
+  ScheduleNextCompletion();
+}
+
+void TransferManager::ScheduleNextCompletion() {
+  ++wakeup_generation_;
+  if (flows_.empty()) {
+    return;
+  }
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    HCHECK_GT(flow.rate, 0.0);
+    next = std::min(next, flow.bytes_remaining / flow.rate);
+  }
+  const std::uint64_t generation = wakeup_generation_;
+  sim_->ScheduleAfter(next, [this, generation] { OnWakeup(generation); });
+}
+
+void TransferManager::OnWakeup(std::uint64_t generation) {
+  if (generation != wakeup_generation_) {
+    return;  // a newer recompute superseded this wakeup
+  }
+  AdvanceToNow();
+  RecomputeRates();
+}
+
+void TransferManager::CompleteFinishedFlows() {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.bytes_remaining <= kByteEpsilon) {
+      for (LinkId lid : it->second.route) {
+        link_stats_[static_cast<std::size_t>(lid)].bytes_carried += it->second.bytes_total;
+      }
+      ++flows_completed_;
+      it->second.done->Fire();
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace harmony

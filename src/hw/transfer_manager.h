@@ -1,0 +1,106 @@
+// Flow-level DMA model over the topology.
+//
+// A transfer is a flow along the (precomputed) route between two nodes. At any instant a
+// flow's rate is min over its route's links of (link bandwidth / number of active flows on
+// that link) — the classic processor-sharing approximation of max-min fair bandwidth
+// allocation. Rates are recomputed whenever a flow starts or finishes, so contention on the
+// shared switch-to-host uplink (the paper's Fig. 2(a)/(b) bottleneck) emerges naturally.
+//
+// The manager also keeps byte/busy-time accounting per link and per transfer kind, which the
+// benches read back as "swap volume" and "link utilization".
+#ifndef HARMONY_SRC_HW_TRANSFER_MANAGER_H_
+#define HARMONY_SRC_HW_TRANSFER_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/hw/topology.h"
+#include "src/sim/simulator.h"
+#include "src/util/units.h"
+
+namespace harmony {
+
+enum class TransferKind : int {
+  kSwapIn = 0,    // host -> GPU
+  kSwapOut = 1,   // GPU -> host
+  kPeerToPeer = 2,  // GPU -> GPU direct
+  kCollective = 3,  // allreduce chunks
+  kInput = 4,       // training-data ingest
+  kOther = 5,
+};
+inline constexpr int kNumTransferKinds = 6;
+
+const char* TransferKindName(TransferKind kind);
+
+struct LinkStats {
+  Bytes bytes_carried = 0;
+  double busy_time = 0.0;  // wall time with >= 1 active flow
+};
+
+class TransferManager {
+ public:
+  TransferManager(Simulator* sim, const Topology* topology);
+  TransferManager(const TransferManager&) = delete;
+  TransferManager& operator=(const TransferManager&) = delete;
+
+  // Starts a transfer of `bytes` from `src` to `dst`; the returned event (owned by the
+  // manager) fires at completion. src == dst or bytes == 0 completes after route latency
+  // only. The event pointer stays valid for the manager's lifetime.
+  OneShotEvent* StartTransfer(NodeId src, NodeId dst, Bytes bytes, TransferKind kind);
+
+  // ---- accounting ----
+  Bytes bytes_by_kind(TransferKind kind) const {
+    return bytes_by_kind_[static_cast<std::size_t>(kind)];
+  }
+  Bytes total_bytes() const;
+  const LinkStats& link_stats(LinkId link) const {
+    return link_stats_.at(static_cast<std::size_t>(link));
+  }
+  int num_active_flows() const { return static_cast<int>(flows_.size()); }
+  std::int64_t flows_completed() const { return flows_completed_; }
+
+  const Topology& topology() const { return *topology_; }
+
+ private:
+  struct Flow {
+    std::int64_t id = 0;
+    std::vector<LinkId> route;
+    double bytes_remaining = 0.0;
+    Bytes bytes_total = 0;
+    double rate = 0.0;  // bytes/sec under the current allocation
+    TransferKind kind = TransferKind::kOther;
+    OneShotEvent* done = nullptr;
+  };
+
+  // Integrates all active flows (and per-link busy time) forward to sim_->now() using the
+  // rates computed at the previous change point. Must run before the flow set changes.
+  void AdvanceToNow();
+
+  // Recomputes per-link active counts and per-flow rates, then schedules the next
+  // completion wakeup.
+  void RecomputeRates();
+  void ScheduleNextCompletion();
+  void OnWakeup(std::uint64_t generation);
+  void CompleteFinishedFlows();
+
+  Simulator* sim_;
+  const Topology* topology_;
+
+  std::int64_t next_flow_id_ = 0;
+  std::map<std::int64_t, Flow> flows_;  // ordered -> deterministic iteration
+  std::vector<std::unique_ptr<OneShotEvent>> events_;  // owns completion events
+
+  std::vector<int> link_active_;  // active flow count per link (valid since last recompute)
+  std::vector<LinkStats> link_stats_;
+  SimTime last_advance_ = 0.0;
+  std::uint64_t wakeup_generation_ = 0;
+
+  Bytes bytes_by_kind_[kNumTransferKinds] = {};
+  std::int64_t flows_completed_ = 0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_HW_TRANSFER_MANAGER_H_

@@ -1,0 +1,66 @@
+#include "src/mem/allocator.h"
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+DeviceAllocator::DeviceAllocator(Bytes capacity, Bytes alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  HCHECK_GT(capacity, 0);
+  HCHECK_GT(alignment, 0);
+  free_[0] = capacity;
+}
+
+Bytes DeviceAllocator::Allocate(Bytes size) {
+  HCHECK_GT(size, 0);
+  const Bytes need = Align(size);
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= need) {
+      const Bytes offset = it->first;
+      const Bytes length = it->second;
+      free_.erase(it);
+      if (length > need) {
+        free_[offset + need] = length - need;
+      }
+      used_ += need;
+      return offset;
+    }
+  }
+  return -1;
+}
+
+void DeviceAllocator::Free(Bytes offset, Bytes size) {
+  HCHECK_GE(offset, 0);
+  const Bytes length = Align(size);
+  auto [it, inserted] = free_.emplace(offset, length);
+  HCHECK(inserted) << "double free at offset " << offset;
+  used_ -= length;
+  HCHECK_GE(used_, 0);
+
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_.erase(it);
+    }
+  }
+}
+
+Bytes DeviceAllocator::largest_free_block() const {
+  Bytes best = 0;
+  for (const auto& [offset, length] : free_) {
+    if (length > best) {
+      best = length;
+    }
+  }
+  return best;
+}
+
+}  // namespace harmony

@@ -1,0 +1,44 @@
+// First-fit device memory allocator with free-list coalescing.
+//
+// Models a GPU memory pool: offset-addressed, no compaction (a real allocator cannot move
+// live cudaMalloc'd blocks). Fragmentation is therefore observable: Allocate can fail even
+// when free_bytes() >= size, and the memory manager responds by evicting more tensors.
+#ifndef HARMONY_SRC_MEM_ALLOCATOR_H_
+#define HARMONY_SRC_MEM_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/util/units.h"
+
+namespace harmony {
+
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(Bytes capacity, Bytes alignment = 256);
+
+  // Returns the offset of a block of `size` bytes, or -1 when no free block fits.
+  Bytes Allocate(Bytes size);
+
+  // Frees a block previously returned by Allocate (with its original size).
+  void Free(Bytes offset, Bytes size);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used_bytes() const { return used_; }
+  Bytes free_bytes() const { return capacity_ - used_; }
+  // Size of the largest free block — the quantity that actually gates allocation.
+  Bytes largest_free_block() const;
+  int num_free_blocks() const { return static_cast<int>(free_.size()); }
+
+ private:
+  Bytes Align(Bytes v) const { return (v + alignment_ - 1) / alignment_ * alignment_; }
+
+  Bytes capacity_;
+  Bytes alignment_;
+  Bytes used_ = 0;
+  std::map<Bytes, Bytes> free_;  // offset -> length, disjoint, coalesced
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_MEM_ALLOCATOR_H_

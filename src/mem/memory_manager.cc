@@ -1,0 +1,701 @@
+#include "src/mem/memory_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace harmony {
+
+Bytes MemoryCounters::total_swap_in() const {
+  Bytes total = 0;
+  for (Bytes b : swap_in) {
+    total += b;
+  }
+  return total;
+}
+
+Bytes MemoryCounters::total_swap_out() const {
+  Bytes total = 0;
+  for (Bytes b : swap_out) {
+    total += b;
+  }
+  return total;
+}
+
+Bytes MemoryCounters::total_p2p_in() const {
+  Bytes total = 0;
+  for (Bytes b : p2p_in) {
+    total += b;
+  }
+  return total;
+}
+
+// ---- MemoryManager -------------------------------------------------------------------------
+
+MemoryManager::MemoryManager(MemorySystem* system, int device_index, NodeId device_node,
+                             NodeId host_node, Bytes capacity)
+    : system_(system),
+      device_index_(device_index),
+      device_node_(device_node),
+      host_node_(host_node),
+      allocator_(capacity) {}
+
+MemoryManager::Acquisition MemoryManager::Acquire(WorkingSet set, bool best_effort) {
+  TensorRegistry& reg = system_->registry();
+  auto pin_all = [&](const std::vector<TensorId>& ids) {
+    for (TensorId id : ids) {
+      TensorState& s = reg.mutable_state(id);
+      HCHECK(s.residency != Residency::kDead)
+          << "acquire of dead tensor " << reg.meta(id).name;
+      ++s.pin_count;
+    }
+  };
+  pin_all(set.fetch);
+  pin_all(set.accumulate);
+  pin_all(set.allocate);
+
+  Pending pending;
+  pending.handle = next_handle_++;
+  pending.ready = system_->NewEvent();
+  pending.set = std::move(set);
+  pending.best_effort = best_effort;
+  const Acquisition result{pending.handle, pending.ready};
+  pending_.push_back(std::move(pending));
+  system_->SchedulePumpAll();
+  return result;
+}
+
+void MemoryManager::Release(AcquireHandle handle) {
+  if (cancelled_.erase(handle) > 0) {
+    return;  // best-effort request that never materialized
+  }
+  auto it = held_.find(handle);
+  HCHECK(it != held_.end()) << "release of unknown acquisition " << handle;
+  TensorRegistry& reg = system_->registry();
+  auto unpin_all = [&](const std::vector<TensorId>& ids) {
+    for (TensorId id : ids) {
+      TensorState& s = reg.mutable_state(id);
+      HCHECK_GT(s.pin_count, 0);
+      --s.pin_count;
+      s.lru_tick = reg.NextLruTick();
+    }
+  };
+  unpin_all(it->second.set.fetch);
+  unpin_all(it->second.set.accumulate);
+  unpin_all(it->second.set.allocate);
+  if (it->second.scratch_offset >= 0) {
+    allocator_.Free(it->second.scratch_offset, it->second.set.scratch_bytes);
+  }
+  held_.erase(it);
+  system_->SchedulePumpAll();
+}
+
+void MemoryManager::MarkDirty(TensorId id) {
+  TensorState& s = system_->registry().mutable_state(id);
+  HCHECK(s.residency == Residency::kResident && s.device == device_index_)
+      << "MarkDirty on non-resident tensor " << system_->registry().meta(id).name;
+  s.dirty = true;
+}
+
+bool MemoryManager::IsResidentHere(TensorId id) const {
+  const TensorState& s = system_->registry().state(id);
+  return s.residency == Residency::kResident && s.device == device_index_;
+}
+
+void MemoryManager::FreeTensor(TensorId id) {
+  TensorRegistry& reg = system_->registry();
+  TensorState& s = reg.mutable_state(id);
+  HCHECK_EQ(s.pin_count, 0) << "FreeTensor on pinned tensor " << reg.meta(id).name;
+  HCHECK(s.residency == Residency::kResident || s.residency == Residency::kNone)
+      << "FreeTensor on in-flight tensor " << reg.meta(id).name
+      << " (callers must free synchronously after Release, before the next pump)";
+  if (s.residency == Residency::kResident) {
+    HCHECK_EQ(s.device, device_index_);
+    allocator_.Free(s.alloc_offset, reg.meta(id).bytes);
+    resident_.erase(id);
+  }
+  s.residency = Residency::kDead;
+  s.device = -1;
+  s.host_valid = false;
+  s.dirty = false;
+  s.alloc_offset = -1;
+  system_->SchedulePumpAll();
+}
+
+bool MemoryManager::Satisfied(const Pending& p) const {
+  const TensorRegistry& reg = system_->registry();
+  auto all_resident = [&](const std::vector<TensorId>& ids) {
+    for (TensorId id : ids) {
+      const TensorState& s = reg.state(id);
+      if (!(s.residency == Residency::kResident && s.device == device_index_)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!all_resident(p.set.fetch) || !all_resident(p.set.accumulate) ||
+      !all_resident(p.set.allocate)) {
+    return false;
+  }
+  return p.set.scratch_bytes == 0 || p.scratch_allocated;
+}
+
+bool MemoryManager::PumpHead() {
+  if (pending_.empty()) {
+    return false;
+  }
+  Pending& head = pending_.front();
+
+  Progress worst = Progress::kOk;
+  auto ensure_all = [&](const std::vector<TensorId>& ids, bool accumulate, bool allocate) {
+    for (TensorId id : ids) {
+      const Progress p = EnsureTensor(head, id, accumulate, allocate);
+      if (p != Progress::kOk) {
+        worst = p;
+        return;
+      }
+    }
+  };
+  ensure_all(head.set.fetch, /*accumulate=*/false, /*allocate=*/false);
+  if (worst == Progress::kOk) {
+    ensure_all(head.set.accumulate, /*accumulate=*/true, /*allocate=*/false);
+  }
+  if (worst == Progress::kOk) {
+    ensure_all(head.set.allocate, /*accumulate=*/false, /*allocate=*/true);
+  }
+  if (worst == Progress::kOk && !head.scratch_allocated && head.set.scratch_bytes > 0) {
+    const Bytes offset = AllocateWithEviction(head.set.scratch_bytes, "scratch");
+    if (offset == -2) {
+      worst = Progress::kStuck;
+    } else if (offset == -1) {
+      worst = Progress::kBlocked;
+    } else {
+      head.scratch_allocated = true;
+      head.scratch_offset = offset;
+    }
+  }
+  if (worst == Progress::kStuck && head.best_effort) {
+    CancelHead();
+    return true;
+  }
+  if (worst != Progress::kOk || !Satisfied(head)) {
+    return false;
+  }
+
+  // Grant: bump recency so freshly-acquired tensors are the last eviction candidates.
+  TensorRegistry& reg = system_->registry();
+  auto touch_all = [&](const std::vector<TensorId>& ids) {
+    for (TensorId id : ids) {
+      reg.mutable_state(id).lru_tick = reg.NextLruTick();
+    }
+  };
+  touch_all(head.set.fetch);
+  touch_all(head.set.accumulate);
+  touch_all(head.set.allocate);
+
+  Held held;
+  held.set = std::move(head.set);
+  held.scratch_offset = head.scratch_allocated ? head.scratch_offset : -1;
+  OneShotEvent* ready = head.ready;
+  held_.emplace(head.handle, std::move(held));
+  pending_.pop_front();
+  ready->Fire();
+  return true;
+}
+
+MemoryManager::Progress MemoryManager::EnsureTensor(Pending& p, TensorId id,
+                                                    bool is_accumulate, bool is_allocate) {
+  TensorRegistry& reg = system_->registry();
+  TensorState& s = reg.mutable_state(id);
+  const TensorMeta& meta = reg.meta(id);
+
+  if (s.residency == Residency::kResident && s.device == device_index_) {
+    return Progress::kOk;
+  }
+  if (s.residency == Residency::kSwappingIn && s.device == device_index_) {
+    return Progress::kOk;  // arrival will re-pump
+  }
+  if (p.issued.count(id) > 0) {
+    return Progress::kOk;  // a multi-stage bring is in flight
+  }
+  if (s.residency == Residency::kSwappingOut ||
+      (s.residency == Residency::kSwappingIn && s.device != device_index_)) {
+    return Progress::kOk;  // wait for the in-flight transfer, then re-evaluate
+  }
+  HCHECK(s.residency != Residency::kDead) << "use of dead tensor " << meta.name;
+
+  auto progress_of = [](Bytes offset) {
+    return offset == -2 ? Progress::kStuck : Progress::kBlocked;
+  };
+
+  if (s.residency == Residency::kNone) {
+    if (s.host_valid) {
+      const Bytes offset = AllocateWithEviction(meta.bytes, meta.name.c_str());
+      if (offset < 0) {
+        return progress_of(offset);
+      }
+      BeginSwapIn(id, offset);
+      return Progress::kOk;
+    }
+    HCHECK(is_accumulate || is_allocate)
+        << "fetch of tensor " << meta.name << " which has no valid copy anywhere";
+    const Bytes offset = AllocateWithEviction(meta.bytes, meta.name.c_str());
+    if (offset < 0) {
+      return progress_of(offset);
+    }
+    s.residency = Residency::kResident;
+    s.device = device_index_;
+    s.alloc_offset = offset;
+    s.dirty = true;  // device copy is the only copy
+    s.lru_tick = reg.NextLruTick();
+    resident_.insert(id);
+    NoteUsage();
+    return Progress::kOk;
+  }
+
+  // Resident on a peer device.
+  HCHECK(s.residency == Residency::kResident);
+  HCHECK_NE(s.device, device_index_);
+  HCHECK(!is_allocate) << "fresh output " << meta.name << " already resident on device "
+                       << s.device;
+  MemoryManager* peer = &system_->manager(s.device);
+  if (system_->policy().allow_p2p) {
+    const Bytes offset = AllocateWithEviction(meta.bytes, meta.name.c_str());
+    if (offset < 0) {
+      return progress_of(offset);
+    }
+    BeginPeerFetch(id, offset, peer);
+    return Progress::kOk;
+  }
+  // Per-GPU virtualization: no cross-device context. Stage through host memory: the owner
+  // writes the tensor back, then the regular kNone+host_valid path swaps it in here.
+  p.issued.insert(id);
+  BeginStagedFetchFromPeer(id, peer);
+  return Progress::kOk;
+}
+
+void MemoryManager::CancelHead() {
+  Pending head = std::move(pending_.front());
+  pending_.pop_front();
+  TensorRegistry& reg = system_->registry();
+  auto unpin_all = [&](const std::vector<TensorId>& ids) {
+    for (TensorId id : ids) {
+      TensorState& s = reg.mutable_state(id);
+      HCHECK_GT(s.pin_count, 0);
+      --s.pin_count;
+    }
+  };
+  unpin_all(head.set.fetch);
+  unpin_all(head.set.accumulate);
+  unpin_all(head.set.allocate);
+  if (head.scratch_allocated) {
+    allocator_.Free(head.scratch_offset, head.set.scratch_bytes);
+  }
+  cancelled_.insert(head.handle);
+  head.ready->Fire();
+}
+
+Bytes MemoryManager::AllocateWithEviction(Bytes bytes, const char* what) {
+  HCHECK_LE(bytes, allocator_.capacity())
+      << "tensor " << what << " (" << FormatBytes(bytes) << ") exceeds device " << device_index_
+      << " capacity " << FormatBytes(allocator_.capacity());
+  for (;;) {
+    const Bytes offset = allocator_.Allocate(bytes);
+    if (offset >= 0) {
+      NoteUsage();
+      return offset;
+    }
+    if (EvictOne()) {
+      continue;  // a victim was dropped (retry now) or a write-back started (retry too,
+                 // there may be further victims to overlap)
+    }
+    if (evictions_in_flight_ > 0) {
+      return -1;  // wait for write-backs to land
+    }
+    if (allocator_.free_bytes() >= bytes && allocator_.largest_free_block() < bytes) {
+      // Enough bytes, no contiguous block: remap (CUDA-VMM-style) and retry. This always
+      // makes progress, so the loop cannot spin here.
+      Defragment();
+      continue;
+    }
+    // Everything evictable is gone and nothing is in flight: only an external change
+    // (Release / FreeTensor, often on another request) can unblock this. The engine's
+    // deadlock detector reports schedules where that never happens.
+    HLOG(kDebug) << "device " << device_index_ << " stuck allocating " << what << " ("
+                 << FormatBytes(bytes) << "): used " << FormatBytes(allocator_.used_bytes())
+                 << " of " << FormatBytes(allocator_.capacity());
+    return -2;
+  }
+}
+
+void MemoryManager::Defragment() {
+  struct Item {
+    Bytes offset;
+    Bytes size;
+    Bytes* slot;  // where the new offset must be written
+  };
+  std::vector<Item> items;
+  TensorRegistry& reg = system_->registry();
+  for (TensorId id : resident_) {
+    TensorState& s = reg.mutable_state(id);
+    HCHECK_GE(s.alloc_offset, 0);
+    items.push_back(Item{s.alloc_offset, reg.meta(id).bytes, &s.alloc_offset});
+  }
+  for (auto& [handle, held] : held_) {
+    if (held.scratch_offset >= 0) {
+      items.push_back(Item{held.scratch_offset, held.set.scratch_bytes, &held.scratch_offset});
+    }
+  }
+  for (auto& pending : pending_) {
+    if (pending.scratch_allocated) {
+      items.push_back(
+          Item{pending.scratch_offset, pending.set.scratch_bytes, &pending.scratch_offset});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.offset < b.offset; });
+
+  DeviceAllocator fresh(allocator_.capacity());
+  for (Item& item : items) {
+    const Bytes new_offset = fresh.Allocate(item.size);
+    HCHECK_GE(new_offset, 0) << "defragmentation failed to repack";
+    *item.slot = new_offset;
+  }
+  allocator_ = std::move(fresh);
+  ++counters_.defrags;
+}
+
+bool MemoryManager::EvictOne() {
+  TensorRegistry& reg = system_->registry();
+  TensorId victim = kInvalidTensor;
+  const bool lookahead = system_->policy().eviction == EvictionPolicy::kLookahead &&
+                         system_->next_use_oracle() != nullptr;
+  if (lookahead) {
+    // Belady with a write-back-cost tiebreak: among candidates, prefer (1) dead-and-clean
+    // (a free drop), then (2) farthest next use, preferring clean over dirty on equal
+    // distance, then oldest LRU tick. Pure farthest-next-use can lose to LRU by evicting
+    // dirty tensors (paid write-back) while clean never-used-again ones sit idle.
+    constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+    const bool drop_is_free = !system_->policy().write_back_clean;
+    std::uint64_t best_next = 0;
+    bool best_clean = false;
+    std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+    for (TensorId id : resident_) {
+      const TensorState& s = reg.state(id);
+      if (s.residency != Residency::kResident || s.pin_count > 0) {
+        continue;
+      }
+      const std::uint64_t next = system_->next_use_oracle()(id, device_index_);
+      const bool clean = !s.dirty && s.host_valid && drop_is_free;
+      const bool better = [&] {
+        if (victim == kInvalidTensor) {
+          return true;
+        }
+        // Free drops of dead tensors beat everything.
+        const bool cand_free = clean && next == kNever;
+        const bool best_free = best_clean && best_next == kNever;
+        if (cand_free != best_free) {
+          return cand_free;
+        }
+        if (next != best_next) {
+          return next > best_next;
+        }
+        if (clean != best_clean) {
+          return clean;
+        }
+        return s.lru_tick < best_tick;
+      }();
+      if (better) {
+        best_next = next;
+        best_clean = clean;
+        best_tick = s.lru_tick;
+        victim = id;
+      }
+    }
+  } else {
+    std::uint64_t best_tick = std::numeric_limits<std::uint64_t>::max();
+    for (TensorId id : resident_) {
+      const TensorState& s = reg.state(id);
+      if (s.residency != Residency::kResident || s.pin_count > 0) {
+        continue;
+      }
+      if (s.lru_tick < best_tick) {
+        best_tick = s.lru_tick;
+        victim = id;
+      }
+    }
+  }
+  if (victim == kInvalidTensor) {
+    return false;
+  }
+
+  TensorState& s = reg.mutable_state(victim);
+  const TensorMeta& meta = reg.meta(victim);
+  ++counters_.evictions;
+
+  const bool can_drop = !s.dirty && s.host_valid && !system_->policy().write_back_clean;
+  if (can_drop) {
+    allocator_.Free(s.alloc_offset, meta.bytes);
+    resident_.erase(victim);
+    s.residency = Residency::kNone;
+    s.device = -1;
+    s.alloc_offset = -1;
+    counters_.clean_drops[static_cast<int>(meta.cls)] += meta.bytes;
+    return true;
+  }
+
+  // Write-back (LMS-style always, or a dirty tensor under any policy).
+  s.residency = Residency::kSwappingOut;
+  ++evictions_in_flight_;
+  counters_.swap_out[static_cast<int>(meta.cls)] += meta.bytes;
+  OneShotEvent* done = system_->transfers().StartTransfer(device_node_, host_node_,
+                                                          meta.bytes, TransferKind::kSwapOut);
+  done->OnFired([this, victim] {
+    TensorRegistry& registry = system_->registry();
+    TensorState& state = registry.mutable_state(victim);
+    const TensorMeta& m = registry.meta(victim);
+    HCHECK(state.residency == Residency::kSwappingOut);
+    allocator_.Free(state.alloc_offset, m.bytes);
+    resident_.erase(victim);
+    state.residency = Residency::kNone;
+    state.device = -1;
+    state.alloc_offset = -1;
+    state.host_valid = true;
+    state.dirty = false;
+    --evictions_in_flight_;
+    system_->SchedulePumpAll();
+  });
+  return true;
+}
+
+void MemoryManager::BeginSwapIn(TensorId id, Bytes offset) {
+  TensorRegistry& reg = system_->registry();
+  TensorState& s = reg.mutable_state(id);
+  const TensorMeta& meta = reg.meta(id);
+  s.residency = Residency::kSwappingIn;
+  s.device = device_index_;
+  s.alloc_offset = offset;
+  resident_.insert(id);
+  counters_.swap_in[static_cast<int>(meta.cls)] += meta.bytes;
+  NoteUsage();
+  OneShotEvent* done = system_->transfers().StartTransfer(host_node_, device_node_, meta.bytes,
+                                                          TransferKind::kSwapIn);
+  done->OnFired([this, id] {
+    TensorRegistry& registry = system_->registry();
+    TensorState& state = registry.mutable_state(id);
+    HCHECK(state.residency == Residency::kSwappingIn);
+    state.residency = Residency::kResident;
+    state.dirty = false;
+    state.lru_tick = registry.NextLruTick();
+    system_->SchedulePumpAll();
+  });
+}
+
+void MemoryManager::BeginPeerFetch(TensorId id, Bytes offset, MemoryManager* peer) {
+  TensorRegistry& reg = system_->registry();
+  TensorState& s = reg.mutable_state(id);
+  const TensorMeta& meta = reg.meta(id);
+  const Bytes peer_offset = s.alloc_offset;
+  const int peer_device = s.device;
+  HCHECK_EQ(peer_device, peer->device_index_);
+
+  // The tensor now logically belongs to this device. The source allocation is released at
+  // transfer start: a relocation-safe simplification (the peer may not reuse-and-corrupt it
+  // in the simulation, since data never physically exists) that keeps no raw offsets alive
+  // across defragmentation.
+  peer->resident_.erase(id);
+  peer->allocator_.Free(peer_offset, meta.bytes);
+  s.residency = Residency::kSwappingIn;
+  s.device = device_index_;
+  s.alloc_offset = offset;
+  resident_.insert(id);
+  counters_.p2p_in[static_cast<int>(meta.cls)] += meta.bytes;
+  NoteUsage();
+
+  OneShotEvent* done = system_->transfers().StartTransfer(peer->device_node_, device_node_,
+                                                          meta.bytes, TransferKind::kPeerToPeer);
+  done->OnFired([this, id] {
+    TensorRegistry& registry = system_->registry();
+    TensorState& state = registry.mutable_state(id);
+    HCHECK(state.residency == Residency::kSwappingIn);
+    state.residency = Residency::kResident;
+    state.lru_tick = registry.NextLruTick();
+    system_->SchedulePumpAll();
+  });
+}
+
+void MemoryManager::BeginStagedFetchFromPeer(TensorId id, MemoryManager* peer) {
+  TensorRegistry& reg = system_->registry();
+  TensorState& s = reg.mutable_state(id);
+  const TensorMeta& meta = reg.meta(id);
+  const AcquireHandle handle = pending_.front().handle;
+
+  auto release_issue = [this, handle, id] {
+    for (Pending& pending : pending_) {
+      if (pending.handle == handle) {
+        pending.issued.erase(id);
+      }
+    }
+    system_->SchedulePumpAll();
+  };
+
+  if (!s.dirty && s.host_valid) {
+    // Host already has a valid copy; the owner just drops its replica (no DMA). Note this
+    // still differs from p2p: the data must be *re-uploaded* from host over the uplink.
+    peer->allocator_.Free(s.alloc_offset, meta.bytes);
+    peer->resident_.erase(id);
+    s.residency = Residency::kNone;
+    s.device = -1;
+    s.alloc_offset = -1;
+    release_issue();
+    return;
+  }
+
+  s.residency = Residency::kSwappingOut;
+  ++peer->evictions_in_flight_;
+  peer->counters_.swap_out[static_cast<int>(meta.cls)] += meta.bytes;
+  OneShotEvent* done = system_->transfers().StartTransfer(
+      peer->device_node_, peer->host_node_, meta.bytes, TransferKind::kSwapOut);
+  done->OnFired([this, id, peer, release_issue] {
+    TensorRegistry& registry = system_->registry();
+    TensorState& state = registry.mutable_state(id);
+    const TensorMeta& m = registry.meta(id);
+    HCHECK(state.residency == Residency::kSwappingOut);
+    peer->allocator_.Free(state.alloc_offset, m.bytes);
+    peer->resident_.erase(id);
+    state.residency = Residency::kNone;
+    state.device = -1;
+    state.alloc_offset = -1;
+    state.host_valid = true;
+    state.dirty = false;
+    --peer->evictions_in_flight_;
+    release_issue();
+  });
+}
+
+void MemoryManager::NoteUsage() {
+  counters_.high_water = std::max(counters_.high_water, allocator_.used_bytes());
+}
+
+// ---- MemorySystem --------------------------------------------------------------------------
+
+MemorySystem::MemorySystem(Simulator* sim, TransferManager* transfers, TensorRegistry* registry,
+                           const Topology* topology, const std::vector<Bytes>& gpu_capacities,
+                           MemoryPolicy policy)
+    : sim_(sim),
+      transfers_(transfers),
+      registry_(registry),
+      topology_(topology),
+      policy_(policy) {
+  HCHECK_EQ(static_cast<int>(gpu_capacities.size()), topology->num_gpus());
+  for (int g = 0; g < topology->num_gpus(); ++g) {
+    managers_.push_back(std::make_unique<MemoryManager>(
+        this, g, topology->gpu_node(g), topology->HostNodeForGpu(g),
+        gpu_capacities[static_cast<std::size_t>(g)]));
+  }
+}
+
+void MemorySystem::SchedulePumpAll() {
+  if (pump_scheduled_) {
+    return;
+  }
+  pump_scheduled_ = true;
+  sim_->ScheduleAfter(0.0, [this] {
+    pump_scheduled_ = false;
+    PumpAll();
+  });
+}
+
+void MemorySystem::PumpAll() {
+  // Keep pumping until no device makes progress; a grant on one device can unblock another
+  // (e.g. a p2p source became free).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& manager : managers_) {
+      while (manager->PumpHead()) {
+        progress = true;
+      }
+    }
+  }
+}
+
+Status MemorySystem::CheckQuiescent() const {
+  for (const auto& manager : managers_) {
+    if (!manager->pending_.empty()) {
+      return InternalError("device " + std::to_string(manager->device_index_) + " has " +
+                           std::to_string(manager->pending_.size()) +
+                           " pending acquisitions after the run");
+    }
+    if (!manager->held_.empty()) {
+      return InternalError("device " + std::to_string(manager->device_index_) + " has " +
+                           std::to_string(manager->held_.size()) +
+                           " unreleased acquisitions after the run");
+    }
+    if (manager->evictions_in_flight_ != 0) {
+      return InternalError("device " + std::to_string(manager->device_index_) +
+                           " has write-backs in flight after the run");
+    }
+  }
+  for (TensorId id = 0; id < registry_->size(); ++id) {
+    const TensorState& state = registry_->state(id);
+    if (state.pin_count != 0) {
+      return InternalError("tensor " + registry_->meta(id).name + " leaked " +
+                           std::to_string(state.pin_count) + " pins");
+    }
+    if (state.residency == Residency::kSwappingIn ||
+        state.residency == Residency::kSwappingOut) {
+      return InternalError("tensor " + registry_->meta(id).name +
+                           " still in flight after the run");
+    }
+  }
+  return Status::Ok();
+}
+
+OneShotEvent* MemorySystem::NewEvent() {
+  events_.push_back(std::make_unique<OneShotEvent>(sim_));
+  return events_.back().get();
+}
+
+Bytes MemorySystem::TotalSwapIn() const {
+  Bytes total = 0;
+  for (const auto& m : managers_) {
+    total += m->counters().total_swap_in();
+  }
+  return total;
+}
+
+Bytes MemorySystem::TotalSwapOut() const {
+  Bytes total = 0;
+  for (const auto& m : managers_) {
+    total += m->counters().total_swap_out();
+  }
+  return total;
+}
+
+Bytes MemorySystem::TotalSwapOutOf(TensorClass cls) const {
+  Bytes total = 0;
+  for (const auto& m : managers_) {
+    total += m->counters().swap_out_of(cls);
+  }
+  return total;
+}
+
+Bytes MemorySystem::TotalSwapInOf(TensorClass cls) const {
+  Bytes total = 0;
+  for (const auto& m : managers_) {
+    total += m->counters().swap_in_of(cls);
+  }
+  return total;
+}
+
+Bytes MemorySystem::TotalP2pIn() const {
+  Bytes total = 0;
+  for (const auto& m : managers_) {
+    total += m->counters().total_p2p_in();
+  }
+  return total;
+}
+
+}  // namespace harmony

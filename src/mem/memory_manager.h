@@ -1,0 +1,245 @@
+// Per-device virtual memory managers with a machine-wide coordinator.
+//
+// MemorySystem owns one MemoryManager per GPU plus the shared tensor registry. The execution
+// engine asks a device to Acquire a task's working set (inputs to fetch, accumulators to
+// fetch-or-init, outputs to allocate, transient scratch); the manager pins the set, evicts
+// LRU victims under pressure, and issues DMA flows through the TransferManager. The returned
+// event fires when the whole set is resident.
+//
+// Two policy bits differentiate the paper's schemes:
+//   - write_back_clean: evicting an unmodified tensor still copies it to host (IBM-LMS-style
+//     per-GPU virtualization). Harmony's coherent memory drops clean tensors for free.
+//   - allow_p2p: a tensor resident on a peer GPU is fetched with one device-to-device DMA.
+//     Without it the fetch is staged through host memory as a swap-out + swap-in pair —
+//     the "Only CPU-GPU Swaps" inefficiency of Sec. 2.
+#ifndef HARMONY_SRC_MEM_MEMORY_MANAGER_H_
+#define HARMONY_SRC_MEM_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/hw/transfer_manager.h"
+#include "src/mem/allocator.h"
+#include "src/mem/tensor.h"
+#include "src/util/status.h"
+#include "src/sim/simulator.h"
+
+namespace harmony {
+
+enum class EvictionPolicy {
+  kLru,        // least-recently-used (what per-GPU virtualization can do on its own)
+  kLookahead,  // Belady-style: evict the tensor whose next use is farthest in the future,
+               // using the schedule the Task & Swap Scheduler already knows ("the scheduler
+               // and swapping algorithms inform each other's decisions")
+};
+
+struct MemoryPolicy {
+  bool write_back_clean = true;  // LMS-style naive eviction (baseline schemes)
+  bool allow_p2p = false;        // coherent cross-device fetch (Harmony)
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+};
+
+inline MemoryPolicy LmsPolicy() { return MemoryPolicy{true, false}; }
+inline MemoryPolicy HarmonyPolicy() { return MemoryPolicy{false, true}; }
+
+struct MemoryCounters {
+  Bytes swap_in[kNumTensorClasses] = {};   // host -> this device
+  Bytes swap_out[kNumTensorClasses] = {};  // this device -> host
+  Bytes p2p_in[kNumTensorClasses] = {};    // peer -> this device
+  Bytes clean_drops[kNumTensorClasses] = {};
+  std::int64_t evictions = 0;
+  // Virtual-address compactions (CUDA-VMM-style remap when free bytes suffice but no
+  // contiguous block does). Zero-cost in simulated time; counted for observability.
+  std::int64_t defrags = 0;
+  Bytes high_water = 0;  // max allocator usage observed
+
+  Bytes total_swap_in() const;
+  Bytes total_swap_out() const;
+  Bytes total_p2p_in() const;
+  Bytes swap_in_of(TensorClass cls) const { return swap_in[static_cast<int>(cls)]; }
+  Bytes swap_out_of(TensorClass cls) const { return swap_out[static_cast<int>(cls)]; }
+};
+
+// One task's working-set request against a specific device.
+struct WorkingSet {
+  std::vector<TensorId> fetch;       // must arrive with valid contents
+  std::vector<TensorId> accumulate;  // fetch if a copy exists anywhere, else zero-init here
+  std::vector<TensorId> allocate;    // outputs: fresh device allocation
+  Bytes scratch_bytes = 0;           // transient workspace, freed on Release
+};
+
+class MemorySystem;
+
+class MemoryManager {
+ public:
+  MemoryManager(MemorySystem* system, int device_index, NodeId device_node, NodeId host_node,
+                Bytes capacity);
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  using AcquireHandle = std::int64_t;
+
+  struct Acquisition {
+    AcquireHandle handle;
+    OneShotEvent* ready;  // owned by the manager; fires when the set is resident+pinned
+  };
+
+  // Queues a working-set acquisition. Requests are granted FIFO per device. A best-effort
+  // request (used for prefetch / double buffering) is *cancelled* instead of waiting when it
+  // can make no progress without evicting pinned tensors: its pins are dropped, `ready`
+  // fires, and WasCancelled(handle) returns true. Transfers already in flight still land.
+  Acquisition Acquire(WorkingSet set, bool best_effort = false);
+
+  // True when `handle` belonged to a best-effort request that was cancelled. Release() on a
+  // cancelled handle is a no-op.
+  bool WasCancelled(AcquireHandle handle) const { return cancelled_.count(handle) > 0; }
+
+  // Unpins the set and frees its scratch. Tensors stay resident until evicted or freed.
+  void Release(AcquireHandle handle);
+
+  // Marks a resident tensor's device copy as diverged from host (output written).
+  void MarkDirty(TensorId id);
+
+  // End of life: drops any device copy instantly and invalidates the host copy. The tensor
+  // must not be pinned or mid-transfer.
+  void FreeTensor(TensorId id);
+
+  int device_index() const { return device_index_; }
+  NodeId device_node() const { return device_node_; }
+  Bytes capacity() const { return allocator_.capacity(); }
+  Bytes used_bytes() const { return allocator_.used_bytes(); }
+  const MemoryCounters& counters() const { return counters_; }
+  MemoryCounters& mutable_counters() { return counters_; }
+  bool IsResidentHere(TensorId id) const;
+
+ private:
+  friend class MemorySystem;
+
+  struct Pending {
+    AcquireHandle handle;
+    WorkingSet set;
+    OneShotEvent* ready;
+    std::set<TensorId> issued;  // bring-actions already in flight for this request
+    bool scratch_allocated = false;
+    Bytes scratch_offset = -1;
+    bool best_effort = false;
+  };
+
+  enum class Progress {
+    kOk,       // tensor satisfied or a transfer is in flight
+    kBlocked,  // allocation must wait for in-flight evictions
+    kStuck,    // no progress possible without external change (release / free)
+  };
+
+  struct Held {
+    WorkingSet set;
+    Bytes scratch_offset = -1;
+  };
+
+  // Tries to make progress on the head pending request; returns true if it was granted.
+  bool PumpHead();
+  // Checks whether every tensor of `p` is resident here and scratch is allocated.
+  bool Satisfied(const Pending& p) const;
+  // Issues whatever actions tensor `id` needs; on kBlocked/kStuck callers stop issuing to
+  // preserve FIFO memory fairness.
+  Progress EnsureTensor(Pending& p, TensorId id, bool is_accumulate, bool is_allocate);
+  // Allocates `bytes`, evicting LRU victims as needed. Returns the offset, or -1 when
+  // blocked behind an in-flight eviction, or -2 when stuck (everything evictable is gone
+  // and nothing is in flight). Fatal only when `bytes` exceeds raw device capacity.
+  Bytes AllocateWithEviction(Bytes bytes, const char* what);
+  // Drops a best-effort head request: unpins, marks cancelled, fires ready.
+  void CancelHead();
+  // Compacts all live allocations to low offsets (simulating a virtual-memory remap),
+  // leaving one contiguous free block. Updates every stored offset.
+  void Defragment();
+  // Starts eviction of the least-recently-used unpinned resident tensor. Returns true if a
+  // victim was processed (sync drop or async write-back started); false if none exists.
+  bool EvictOne();
+  void BeginSwapIn(TensorId id, Bytes offset);
+  void BeginPeerFetch(TensorId id, Bytes offset, MemoryManager* peer);
+  void BeginStagedFetchFromPeer(TensorId id, MemoryManager* peer);
+  void NoteUsage();
+
+  MemorySystem* system_;
+  int device_index_;
+  NodeId device_node_;
+  NodeId host_node_;  // this GPU's swap target (its own server's DRAM)
+  DeviceAllocator allocator_;
+  MemoryCounters counters_;
+
+  std::deque<Pending> pending_;
+  std::map<AcquireHandle, Held> held_;
+  std::set<AcquireHandle> cancelled_;
+  std::set<TensorId> resident_;  // tensors whose allocation lives on this device
+  int evictions_in_flight_ = 0;
+  AcquireHandle next_handle_ = 1;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(Simulator* sim, TransferManager* transfers, TensorRegistry* registry,
+               const Topology* topology, const std::vector<Bytes>& gpu_capacities,
+               MemoryPolicy policy);
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  int num_devices() const { return static_cast<int>(managers_.size()); }
+  MemoryManager& manager(int device) { return *managers_.at(static_cast<std::size_t>(device)); }
+  const MemoryManager& manager(int device) const {
+    return *managers_.at(static_cast<std::size_t>(device));
+  }
+
+  TensorRegistry& registry() { return *registry_; }
+  const MemoryPolicy& policy() const { return policy_; }
+  Simulator& sim() { return *sim_; }
+  TransferManager& transfers() { return *transfers_; }
+  const Topology& topology() const { return *topology_; }
+
+  // Next-use oracle for lookahead eviction: returns the position (monotone per device) of
+  // the next task on `device` that touches `tensor`, or a huge sentinel when it is never
+  // used again. Installed by the engine, which knows the plan.
+  using NextUseFn = std::function<std::uint64_t(TensorId tensor, int device)>;
+  void SetNextUseOracle(NextUseFn oracle) { next_use_ = std::move(oracle); }
+  const NextUseFn& next_use_oracle() const { return next_use_; }
+
+  // Coalesced "something changed, re-examine pending requests on every device" signal.
+  void SchedulePumpAll();
+
+  // Allocates a completion event owned by the system (for staged multi-hop fetches).
+  OneShotEvent* NewEvent();
+
+  // Post-run hygiene check: no pending acquisitions, no held pins, no in-flight
+  // transfers anywhere. Returns an error describing the first violation (leaked pins and
+  // stuck requests are scheduler/engine bugs that would otherwise go unnoticed).
+  Status CheckQuiescent() const;
+
+  // Sums a counter across devices.
+  Bytes TotalSwapIn() const;
+  Bytes TotalSwapOut() const;
+  Bytes TotalSwapOutOf(TensorClass cls) const;
+  Bytes TotalSwapInOf(TensorClass cls) const;
+  Bytes TotalP2pIn() const;
+
+ private:
+  friend class MemoryManager;
+  void PumpAll();
+
+  Simulator* sim_;
+  TransferManager* transfers_;
+  TensorRegistry* registry_;
+  const Topology* topology_;
+  MemoryPolicy policy_;
+  std::vector<std::unique_ptr<MemoryManager>> managers_;
+  NextUseFn next_use_;
+  std::vector<std::unique_ptr<OneShotEvent>> events_;
+  bool pump_scheduled_ = false;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_MEM_MEMORY_MANAGER_H_

@@ -1,0 +1,46 @@
+#include "src/mem/tensor.h"
+
+namespace harmony {
+
+const char* TensorClassName(TensorClass cls) {
+  switch (cls) {
+    case TensorClass::kInput:
+      return "input";
+    case TensorClass::kWeight:
+      return "weight";
+    case TensorClass::kWeightGrad:
+      return "weight-grad";
+    case TensorClass::kActivation:
+      return "activation";
+    case TensorClass::kActivationGrad:
+      return "activation-grad";
+    case TensorClass::kOptimizerState:
+      return "optimizer-state";
+    case TensorClass::kWorkspace:
+      return "workspace";
+  }
+  return "unknown";
+}
+
+TensorId TensorRegistry::Create(std::string name, Bytes bytes, TensorClass cls, bool host_valid,
+                                int layer, int microbatch, int replica_gpu) {
+  HCHECK_GE(bytes, 0);
+  const TensorId id = static_cast<TensorId>(metas_.size());
+  metas_.push_back(TensorMeta{id, std::move(name), bytes, cls, layer, microbatch, replica_gpu});
+  TensorState state;
+  state.host_valid = host_valid;
+  states_.push_back(state);
+  return id;
+}
+
+Bytes TensorRegistry::TotalBytes(TensorClass cls) const {
+  Bytes total = 0;
+  for (const auto& meta : metas_) {
+    if (meta.cls == cls) {
+      total += meta.bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace harmony

@@ -1,0 +1,81 @@
+#include "src/numeric/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harmony {
+
+Mat MatMul(const Mat& a, const Mat& b) {
+  HCHECK_EQ(a.cols, b.rows);
+  Mat c(a.rows, b.cols);
+  for (int i = 0; i < a.rows; ++i) {
+    for (int k = 0; k < a.cols; ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (int j = 0; j < b.cols; ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Mat MatMulBt(const Mat& a, const Mat& b) {
+  HCHECK_EQ(a.cols, b.cols);
+  Mat c(a.rows, b.rows);
+  for (int i = 0; i < a.rows; ++i) {
+    for (int j = 0; j < b.rows; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < a.cols; ++k) {
+        sum += a.at(i, k) * b.at(j, k);
+      }
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Mat MatMulAt(const Mat& a, const Mat& b) {
+  HCHECK_EQ(a.rows, b.rows);
+  Mat c(a.cols, b.cols);
+  for (int k = 0; k < a.rows; ++k) {
+    for (int i = 0; i < a.cols; ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) {
+        continue;
+      }
+      for (int j = 0; j < b.cols; ++j) {
+        c.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+void AddInPlace(Mat& a, const Mat& b) {
+  HCHECK_EQ(a.rows, b.rows);
+  HCHECK_EQ(a.cols, b.cols);
+  for (std::size_t i = 0; i < a.v.size(); ++i) {
+    a.v[i] += b.v[i];
+  }
+}
+
+void ScaleInPlace(Mat& a, double s) {
+  for (double& x : a.v) {
+    x *= s;
+  }
+}
+
+double MaxAbsDiff(const Mat& a, const Mat& b) {
+  HCHECK_EQ(a.rows, b.rows);
+  HCHECK_EQ(a.cols, b.cols);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.v.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.v[i] - b.v[i]));
+  }
+  return worst;
+}
+
+}  // namespace harmony

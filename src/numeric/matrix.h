@@ -1,0 +1,48 @@
+// Tiny dense row-major matrix for the numeric substrate.
+//
+// Everything is double precision: the point of this module is to prove that Harmony's task
+// reordering computes the *same* gradients as sequential PyTorch-style execution, so we want
+// floating-point noise far below the comparison tolerances.
+#ifndef HARMONY_SRC_NUMERIC_MATRIX_H_
+#define HARMONY_SRC_NUMERIC_MATRIX_H_
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+struct Mat {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> v;  // row-major, rows*cols
+
+  Mat() = default;
+  Mat(int r, int c) : rows(r), cols(c), v(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), 0.0) {}
+
+  double& at(int r, int c) {
+    return v[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+             static_cast<std::size_t>(c)];
+  }
+  double at(int r, int c) const {
+    return v[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+             static_cast<std::size_t>(c)];
+  }
+  bool empty() const { return v.empty(); }
+};
+
+// out = a * b^T? No transposes here; explicit helpers keep call sites readable.
+// c = a(m,k) * b(k,n)
+Mat MatMul(const Mat& a, const Mat& b);
+// c = a(m,k) * b(n,k)^T
+Mat MatMulBt(const Mat& a, const Mat& b);
+// c = a(k,m)^T * b(k,n)
+Mat MatMulAt(const Mat& a, const Mat& b);
+void AddInPlace(Mat& a, const Mat& b);
+void ScaleInPlace(Mat& a, double s);
+// max |a - b|
+double MaxAbsDiff(const Mat& a, const Mat& b);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_NUMERIC_MATRIX_H_

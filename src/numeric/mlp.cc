@@ -1,0 +1,134 @@
+#include "src/numeric/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harmony {
+
+MlpParams InitMlp(const std::vector<int>& dims, std::uint64_t seed) {
+  HCHECK_GE(dims.size(), 2u);
+  Rng rng(seed);
+  MlpParams params;
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    const int in = dims[l];
+    const int out = dims[l + 1];
+    Mat w(out, in);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(in));
+    for (double& x : w.v) {
+      x = rng.NextGaussian() * scale;
+    }
+    Mat b(1, out);
+    for (double& x : b.v) {
+      x = rng.NextGaussian() * 0.01;
+    }
+    params.weights.push_back(std::move(w));
+    params.biases.push_back(std::move(b));
+  }
+  return params;
+}
+
+Mat MlpForwardLayer(const MlpParams& params, int layer, const Mat& x, bool relu) {
+  const Mat& w = params.weights[static_cast<std::size_t>(layer)];
+  const Mat& b = params.biases[static_cast<std::size_t>(layer)];
+  Mat y = MatMulBt(x, w);  // (batch,in) * (out,in)^T = (batch,out)
+  for (int r = 0; r < y.rows; ++r) {
+    for (int c = 0; c < y.cols; ++c) {
+      y.at(r, c) += b.at(0, c);
+      if (relu && y.at(r, c) < 0.0) {
+        y.at(r, c) = 0.0;
+      }
+    }
+  }
+  return y;
+}
+
+LayerGrads MlpBackwardLayer(const MlpParams& params, int layer, const Mat& x, const Mat& y,
+                            const Mat& dy, bool relu) {
+  const Mat& w = params.weights[static_cast<std::size_t>(layer)];
+  Mat dz = dy;
+  if (relu) {
+    for (int r = 0; r < dz.rows; ++r) {
+      for (int c = 0; c < dz.cols; ++c) {
+        if (y.at(r, c) <= 0.0) {
+          dz.at(r, c) = 0.0;
+        }
+      }
+    }
+  }
+  LayerGrads grads;
+  grads.dw = MatMulAt(dz, x);  // (batch,out)^T * (batch,in) = (out,in)
+  grads.db = Mat(1, dz.cols);
+  for (int r = 0; r < dz.rows; ++r) {
+    for (int c = 0; c < dz.cols; ++c) {
+      grads.db.at(0, c) += dz.at(r, c);
+    }
+  }
+  grads.dx = MatMul(dz, w);  // (batch,out) * (out,in) = (batch,in)
+  return grads;
+}
+
+Mat MlpLossGrad(const Mat& logits, const Mat& target, double* loss) {
+  HCHECK_EQ(logits.rows, target.rows);
+  HCHECK_EQ(logits.cols, target.cols);
+  Mat grad(logits.rows, logits.cols);
+  double total = 0.0;
+  for (std::size_t i = 0; i < grad.v.size(); ++i) {
+    const double diff = logits.v[i] - target.v[i];
+    grad.v[i] = diff;
+    total += 0.5 * diff * diff;
+  }
+  if (loss != nullptr) {
+    *loss += total;
+  }
+  return grad;
+}
+
+void MlpApplyUpdate(MlpParams& params, int layer, const Mat& dw, const Mat& db, double lr,
+                    int samples, double momentum) {
+  HCHECK_GT(samples, 0);
+  const double inv = 1.0 / static_cast<double>(samples);
+  Mat& w = params.weights[static_cast<std::size_t>(layer)];
+  Mat& b = params.biases[static_cast<std::size_t>(layer)];
+  HCHECK_EQ(w.rows, dw.rows);
+  HCHECK_EQ(w.cols, dw.cols);
+  if (momentum == 0.0) {
+    for (std::size_t i = 0; i < w.v.size(); ++i) {
+      w.v[i] -= lr * inv * dw.v[i];
+    }
+    for (std::size_t i = 0; i < b.v.size(); ++i) {
+      b.v[i] -= lr * inv * db.v[i];
+    }
+    return;
+  }
+  if (params.velocity_w.empty()) {
+    for (int l = 0; l < params.num_layers(); ++l) {
+      params.velocity_w.emplace_back(params.weights[static_cast<std::size_t>(l)].rows,
+                                     params.weights[static_cast<std::size_t>(l)].cols);
+      params.velocity_b.emplace_back(1, params.biases[static_cast<std::size_t>(l)].cols);
+    }
+  }
+  Mat& vw = params.velocity_w[static_cast<std::size_t>(layer)];
+  Mat& vb = params.velocity_b[static_cast<std::size_t>(layer)];
+  for (std::size_t i = 0; i < w.v.size(); ++i) {
+    vw.v[i] = momentum * vw.v[i] + inv * dw.v[i];
+    w.v[i] -= lr * vw.v[i];
+  }
+  for (std::size_t i = 0; i < b.v.size(); ++i) {
+    vb.v[i] = momentum * vb.v[i] + inv * db.v[i];
+    b.v[i] -= lr * vb.v[i];
+  }
+}
+
+double MaxParamDiff(const MlpParams& a, const MlpParams& b) {
+  HCHECK_EQ(a.num_layers(), b.num_layers());
+  double worst = 0.0;
+  for (int l = 0; l < a.num_layers(); ++l) {
+    worst = std::max(worst, MaxAbsDiff(a.weights[static_cast<std::size_t>(l)],
+                                       b.weights[static_cast<std::size_t>(l)]));
+    worst = std::max(worst, MaxAbsDiff(a.biases[static_cast<std::size_t>(l)],
+                                       b.biases[static_cast<std::size_t>(l)]));
+  }
+  return worst;
+}
+
+}  // namespace harmony

@@ -1,0 +1,58 @@
+// A real MLP (Linear(+ReLU) stack) with hand-written forward/backward kernels.
+//
+// The layer indexing matches graph::MakeMlp(dims): layer l maps dims[l] -> dims[l+1]; every
+// layer applies ReLU except the last (logits). The loss is 0.5 * ||logits - target||^2
+// summed over samples; updates are plain SGD with the gradient averaged over the iteration's
+// total sample count. These exact semantics are shared by the sequential reference trainer
+// and the plan executor so their trajectories are comparable.
+#ifndef HARMONY_SRC_NUMERIC_MLP_H_
+#define HARMONY_SRC_NUMERIC_MLP_H_
+
+#include <vector>
+
+#include "src/numeric/matrix.h"
+#include "src/util/rng.h"
+
+namespace harmony {
+
+struct MlpParams {
+  // weights[l]: (dims[l+1] x dims[l]); biases[l]: (1 x dims[l+1])
+  std::vector<Mat> weights;
+  std::vector<Mat> biases;
+  // Momentum buffers, lazily initialized to zero on the first update with momentum > 0.
+  std::vector<Mat> velocity_w;
+  std::vector<Mat> velocity_b;
+
+  int num_layers() const { return static_cast<int>(weights.size()); }
+};
+
+// Deterministic Gaussian init (replicas built from the same seed are bit-identical).
+MlpParams InitMlp(const std::vector<int>& dims, std::uint64_t seed);
+
+// y = x * W^T + b, followed by ReLU when `relu`.
+Mat MlpForwardLayer(const MlpParams& params, int layer, const Mat& x, bool relu);
+
+struct LayerGrads {
+  Mat dw;
+  Mat db;
+  Mat dx;
+};
+
+// Backward through layer `layer`: `x` is the layer input, `y` its (post-ReLU) output, `dy`
+// the gradient wrt that output.
+LayerGrads MlpBackwardLayer(const MlpParams& params, int layer, const Mat& x, const Mat& y,
+                            const Mat& dy, bool relu);
+
+// dLogits = logits - target; returns the gradient and accumulates loss if `loss` non-null.
+Mat MlpLossGrad(const Mat& logits, const Mat& target, double* loss);
+
+// SGD with optional momentum: v = mu*v + dW/samples; W -= lr*v (and bias likewise).
+// mu == 0 is plain SGD.
+void MlpApplyUpdate(MlpParams& params, int layer, const Mat& dw, const Mat& db, double lr,
+                    int samples, double momentum = 0.0);
+
+double MaxParamDiff(const MlpParams& a, const MlpParams& b);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_NUMERIC_MLP_H_

@@ -1,0 +1,72 @@
+#include "src/numeric/reference.h"
+
+namespace harmony {
+
+DataFn SyntheticData(const std::vector<int>& dims, int microbatch_size, std::uint64_t seed) {
+  const int in_dim = dims.front();
+  const int out_dim = dims.back();
+  return [=](int iteration, int global_microbatch, Mat* x, Mat* y) {
+    // Key the stream by (iteration, microbatch) so every consumer sees identical data
+    // regardless of the order it asks in.
+    Rng rng(seed + std::uint64_t{1000003} * static_cast<std::uint64_t>(iteration) +
+            std::uint64_t{10007} * static_cast<std::uint64_t>(global_microbatch));
+    *x = Mat(microbatch_size, in_dim);
+    for (double& v : x->v) {
+      v = rng.NextGaussian();
+    }
+    *y = Mat(microbatch_size, out_dim);
+    for (double& v : y->v) {
+      v = rng.NextGaussian() * 0.5;
+    }
+  };
+}
+
+ReferenceResult TrainReference(const std::vector<int>& dims, std::uint64_t init_seed,
+                               const DataFn& data, int iterations, int total_microbatches,
+                               int microbatch_size, double lr, double momentum) {
+  ReferenceResult result;
+  result.params = InitMlp(dims, init_seed);
+  const int num_layers = result.params.num_layers();
+  const int samples = total_microbatches * microbatch_size;
+
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<Mat> dw(static_cast<std::size_t>(num_layers));
+    std::vector<Mat> db(static_cast<std::size_t>(num_layers));
+    double loss = 0.0;
+
+    for (int gm = 0; gm < total_microbatches; ++gm) {
+      Mat x, target;
+      data(it, gm, &x, &target);
+      std::vector<Mat> acts;
+      acts.push_back(std::move(x));
+      for (int l = 0; l < num_layers; ++l) {
+        const bool relu = l < num_layers - 1;
+        acts.push_back(MlpForwardLayer(result.params, l, acts.back(), relu));
+      }
+      Mat dy = MlpLossGrad(acts.back(), target, &loss);
+      for (int l = num_layers - 1; l >= 0; --l) {
+        const bool relu = l < num_layers - 1;
+        LayerGrads grads =
+            MlpBackwardLayer(result.params, l, acts[static_cast<std::size_t>(l)],
+                             acts[static_cast<std::size_t>(l + 1)], dy, relu);
+        if (dw[static_cast<std::size_t>(l)].empty()) {
+          dw[static_cast<std::size_t>(l)] = std::move(grads.dw);
+          db[static_cast<std::size_t>(l)] = std::move(grads.db);
+        } else {
+          AddInPlace(dw[static_cast<std::size_t>(l)], grads.dw);
+          AddInPlace(db[static_cast<std::size_t>(l)], grads.db);
+        }
+        dy = std::move(grads.dx);
+      }
+    }
+
+    for (int l = 0; l < num_layers; ++l) {
+      MlpApplyUpdate(result.params, l, dw[static_cast<std::size_t>(l)],
+                     db[static_cast<std::size_t>(l)], lr, samples, momentum);
+    }
+    result.losses.push_back(loss);
+  }
+  return result;
+}
+
+}  // namespace harmony

@@ -1,0 +1,34 @@
+// Sequential single-device reference trainer.
+//
+// This is the semantic ground truth: what an unmodified imperative PyTorch script would
+// compute — forward and backward over every microbatch in order, gradient accumulation,
+// one SGD step per iteration. Harmony's reordered plans must reproduce this trajectory.
+#ifndef HARMONY_SRC_NUMERIC_REFERENCE_H_
+#define HARMONY_SRC_NUMERIC_REFERENCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/numeric/mlp.h"
+
+namespace harmony {
+
+// Fills input x and target y for one microbatch. `global_microbatch` enumerates the whole
+// minibatch (data-parallel replicas concatenated in replica-major order).
+using DataFn = std::function<void(int iteration, int global_microbatch, Mat* x, Mat* y)>;
+
+// Deterministic synthetic regression data from a seed.
+DataFn SyntheticData(const std::vector<int>& dims, int microbatch_size, std::uint64_t seed);
+
+struct ReferenceResult {
+  MlpParams params;
+  std::vector<double> losses;  // per iteration
+};
+
+ReferenceResult TrainReference(const std::vector<int>& dims, std::uint64_t init_seed,
+                               const DataFn& data, int iterations, int total_microbatches,
+                               int microbatch_size, double lr, double momentum = 0.0);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_NUMERIC_REFERENCE_H_

@@ -1,0 +1,71 @@
+#include "src/runtime/collective.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+CollectiveEngine::CollectiveEngine(Simulator* sim, TransferManager* transfers)
+    : sim_(sim), transfers_(transfers) {}
+
+void CollectiveEngine::Arrive(int group, int device_index, Bytes bytes, int expected,
+                              std::function<void()> on_done) {
+  HCHECK_GT(expected, 0);
+  Group& state = groups_[group];
+  if (state.devices.empty()) {
+    state.expected = expected;
+    state.bytes = bytes;
+  } else {
+    HCHECK_EQ(state.expected, expected) << "collective group " << group << " size mismatch";
+    HCHECK_EQ(state.bytes, bytes) << "collective group " << group << " byte mismatch";
+  }
+  state.devices.push_back(device_index);
+  state.callbacks.push_back(std::move(on_done));
+  HCHECK_LE(static_cast<int>(state.devices.size()), expected);
+
+  if (static_cast<int>(state.devices.size()) < expected) {
+    return;
+  }
+
+  Group ready = std::move(state);
+  groups_.erase(group);
+  std::sort(ready.devices.begin(), ready.devices.end());
+  if (ready.expected == 1 || ready.bytes == 0) {
+    // Nothing to reduce across devices; complete asynchronously for uniform semantics.
+    sim_->ScheduleAfter(0.0, [callbacks = std::move(ready.callbacks)] {
+      for (const auto& cb : callbacks) {
+        cb();
+      }
+    });
+    return;
+  }
+  RunRound(std::move(ready), 0);
+}
+
+void CollectiveEngine::RunRound(Group group_state, int round) {
+  const int n = group_state.expected;
+  const int total_rounds = 2 * (n - 1);  // reduce-scatter + all-gather
+  if (round == total_rounds) {
+    for (const auto& cb : group_state.callbacks) {
+      cb();
+    }
+    return;
+  }
+  const Bytes chunk = (group_state.bytes + n - 1) / n;
+  const Topology& topo = transfers_->topology();
+  auto barrier = std::make_shared<CountdownEvent>(sim_, n);
+  for (int i = 0; i < n; ++i) {
+    const NodeId src = topo.gpu_node(group_state.devices[static_cast<std::size_t>(i)]);
+    const NodeId dst =
+        topo.gpu_node(group_state.devices[static_cast<std::size_t>((i + 1) % n)]);
+    total_bytes_moved_ += chunk;
+    OneShotEvent* done = transfers_->StartTransfer(src, dst, chunk, TransferKind::kCollective);
+    done->OnFired([barrier] { barrier->Arrive(); });
+  }
+  barrier->OnFired([this, group_state = std::move(group_state), round]() mutable {
+    RunRound(std::move(group_state), round + 1);
+  });
+}
+
+}  // namespace harmony

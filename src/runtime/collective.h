@@ -1,0 +1,50 @@
+// Ring all-reduce on simulated links.
+//
+// Gradient reduction for data-parallel training. Participants rendezvous per group; once the
+// last member arrives, the engine runs the standard ring algorithm: 2*(n-1) rounds in which
+// every device simultaneously sends a 1/n chunk to its ring successor. Chunk transfers are
+// real flows through the TransferManager, so all-reduce traffic contends with swap traffic
+// on shared PCIe links exactly as NCCL does on the paper's testbed.
+#ifndef HARMONY_SRC_RUNTIME_COLLECTIVE_H_
+#define HARMONY_SRC_RUNTIME_COLLECTIVE_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/hw/transfer_manager.h"
+#include "src/sim/simulator.h"
+
+namespace harmony {
+
+class CollectiveEngine {
+ public:
+  CollectiveEngine(Simulator* sim, TransferManager* transfers);
+
+  // Registers that `device` reached the all-reduce for `group`, contributing `bytes` of
+  // gradients, with `expected` total participants. `on_done` runs when the collective
+  // completes on every member. All members must agree on `bytes` and `expected`.
+  void Arrive(int group, int device_index, Bytes bytes, int expected,
+              std::function<void()> on_done);
+
+  Bytes total_bytes_moved() const { return total_bytes_moved_; }
+
+ private:
+  struct Group {
+    int expected = 0;
+    Bytes bytes = 0;
+    std::vector<int> devices;
+    std::vector<std::function<void()>> callbacks;
+  };
+
+  void RunRound(Group group_state, int round);
+
+  Simulator* sim_;
+  TransferManager* transfers_;
+  std::map<int, Group> groups_;
+  Bytes total_bytes_moved_ = 0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_RUNTIME_COLLECTIVE_H_

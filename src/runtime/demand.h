@@ -1,0 +1,22 @@
+// Per-device memory *demand* analysis: the peak live-tensor footprint a plan would use on
+// each device if memory were unbounded. Demand above physical capacity is what forces
+// swapping; Fig. 2(c) plots exactly this quantity per pipeline stage against the 11 GB line.
+#ifndef HARMONY_SRC_RUNTIME_DEMAND_H_
+#define HARMONY_SRC_RUNTIME_DEMAND_H_
+
+#include <vector>
+
+#include "src/graph/task.h"
+#include "src/mem/tensor.h"
+#include "src/util/units.h"
+
+namespace harmony {
+
+// Walks the plan in a dependency-respecting order, tracking tensor liveness: a tensor
+// becomes live on the device of the first task that touches it, migrates when a task on
+// another device touches it, and dies at its free_after point. Returns per-device peaks.
+std::vector<Bytes> ComputeMemoryDemand(const Plan& plan, const TensorRegistry& registry);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_RUNTIME_DEMAND_H_

@@ -1,0 +1,321 @@
+#include "src/runtime/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace harmony {
+
+Engine::Engine(Simulator* sim, const Machine* machine, MemorySystem* memory,
+               TransferManager* transfers, CollectiveEngine* collective, const Plan* plan,
+               EngineOptions options)
+    : sim_(sim),
+      machine_(machine),
+      memory_(memory),
+      transfers_(transfers),
+      collective_(collective),
+      plan_(plan),
+      options_(options) {
+  HCHECK_EQ(plan->num_devices(), machine->num_gpus());
+  const Status valid = plan->Validate();
+  HCHECK(valid.ok()) << valid.ToString();
+
+  completion_.reserve(plan->tasks.size());
+  for (std::size_t i = 0; i < plan->tasks.size(); ++i) {
+    completion_.push_back(std::make_unique<OneShotEvent>(sim));
+  }
+  devices_.resize(static_cast<std::size_t>(plan->num_devices()));
+  device_busy_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  iteration_remaining_.assign(static_cast<std::size_t>(plan->num_iterations), 0);
+  iteration_end_.assign(static_cast<std::size_t>(plan->num_iterations), 0.0);
+  for (const Task& task : plan->tasks) {
+    ++iteration_remaining_[static_cast<std::size_t>(task.iteration)];
+    if (task.kind == TaskKind::kAllReduce) {
+      ++collective_group_size_[task.collective_group];
+    }
+  }
+  last_snapshot_ = TakeSnapshot();
+
+  // Build the next-use index and hand the memory system its lookahead oracle. The oracle is
+  // harmless under LRU policies (never consulted).
+  next_use_index_.resize(static_cast<std::size_t>(plan->num_devices()));
+  for (int d = 0; d < plan->num_devices(); ++d) {
+    const auto& order = plan->per_device_order[static_cast<std::size_t>(d)];
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const Task& task = plan->tasks[static_cast<std::size_t>(order[pos])];
+      auto note = [&](const std::vector<TensorId>& ids) {
+        for (TensorId id : ids) {
+          next_use_index_[static_cast<std::size_t>(d)][id].push_back(pos);
+        }
+      };
+      note(task.working_set.fetch);
+      note(task.working_set.accumulate);
+      note(task.working_set.allocate);
+    }
+  }
+  memory->SetNextUseOracle([this](TensorId tensor, int device) -> std::uint64_t {
+    const auto& index = next_use_index_[static_cast<std::size_t>(device)];
+    auto it = index.find(tensor);
+    if (it == index.end()) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    const std::uint64_t now_pos = devices_[static_cast<std::size_t>(device)].next_index;
+    const auto next = std::lower_bound(it->second.begin(), it->second.end(), now_pos);
+    if (next == it->second.end()) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    return *next;
+  });
+}
+
+Engine::Snapshot Engine::TakeSnapshot() const {
+  Snapshot snap;
+  snap.swap_in_per_device.resize(static_cast<std::size_t>(plan_->num_devices()));
+  snap.swap_out_per_device.resize(static_cast<std::size_t>(plan_->num_devices()));
+  for (int d = 0; d < plan_->num_devices(); ++d) {
+    const MemoryCounters& counters = memory_->manager(d).counters();
+    for (int c = 0; c < kNumTensorClasses; ++c) {
+      snap.swap_in_by_class[c] += counters.swap_in[c];
+      snap.swap_out_by_class[c] += counters.swap_out[c];
+    }
+    snap.swap_in_per_device[static_cast<std::size_t>(d)] = counters.total_swap_in();
+    snap.swap_out_per_device[static_cast<std::size_t>(d)] = counters.total_swap_out();
+    snap.p2p += counters.total_p2p_in();
+  }
+  snap.collective = transfers_->bytes_by_kind(TransferKind::kCollective);
+  return snap;
+}
+
+RunReport Engine::Run() {
+  for (int d = 0; d < plan_->num_devices(); ++d) {
+    StartNextTask(d);
+  }
+  sim_->RunUntilIdle();
+  if (completed_tasks_ != static_cast<int>(plan_->tasks.size())) {
+    ReportDeadlock();
+  }
+  const Status quiescent = memory_->CheckQuiescent();
+  HCHECK(quiescent.ok()) << quiescent.ToString();
+
+  RunReport report;
+  report.scheme = plan_->scheme;
+  report.makespan = sim_->now();
+  report.samples_per_iteration = plan_->samples_per_iteration;
+  report.iterations = iteration_stats_;
+  report.device_busy = device_busy_;
+  for (int d = 0; d < plan_->num_devices(); ++d) {
+    const MemoryCounters& counters = memory_->manager(d).counters();
+    report.device_swap_in.push_back(counters.total_swap_in());
+    report.device_swap_out.push_back(counters.total_swap_out());
+    report.device_high_water.push_back(counters.high_water);
+    report.device_evictions.push_back(counters.evictions);
+    report.device_defrags.push_back(counters.defrags);
+    report.total_swap_in += counters.total_swap_in();
+    report.total_swap_out += counters.total_swap_out();
+    report.total_p2p += counters.total_p2p_in();
+  }
+  report.total_collective = transfers_->bytes_by_kind(TransferKind::kCollective);
+  const Topology& topo = transfers_->topology();
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    const LinkStats& stats = transfers_->link_stats(l);
+    RunReport::LinkUsage usage;
+    usage.name = topo.node(topo.link(l).src).name + " -> " + topo.node(topo.link(l).dst).name;
+    usage.bytes = stats.bytes_carried;
+    usage.busy_time = stats.busy_time;
+    usage.utilization = report.makespan > 0.0 ? stats.busy_time / report.makespan : 0.0;
+    report.links.push_back(std::move(usage));
+  }
+  return report;
+}
+
+void Engine::StartNextTask(int device) {
+  DeviceState& state = devices_[static_cast<std::size_t>(device)];
+  const auto& order = plan_->per_device_order[static_cast<std::size_t>(device)];
+  if (state.next_index >= order.size()) {
+    return;  // device drained
+  }
+  const TaskId task_id = order[state.next_index];
+  const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
+
+  auto deps_done = std::make_shared<CountdownEvent>(sim_, static_cast<int>(task.deps.size()));
+  for (TaskId dep : task.deps) {
+    completion_[static_cast<std::size_t>(dep)]->OnFired([deps_done] { deps_done->Arrive(); });
+  }
+  deps_done->OnFired([this, device, task_id] { AcquireAndRun(device, task_id); });
+}
+
+void Engine::AcquireAndRun(int device, TaskId task_id) {
+  const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
+  MemoryManager& manager = memory_->manager(device);
+
+  auto it = prefetched_.find(task_id);
+  if (it != prefetched_.end()) {
+    const MemoryManager::Acquisition acq = it->second;
+    prefetched_.erase(it);
+    acq.ready->OnFired([this, device, task_id, acq] {
+      MemoryManager& mgr = memory_->manager(device);
+      if (mgr.WasCancelled(acq.handle)) {
+        mgr.Release(acq.handle);  // clears the cancellation record
+        const MemoryManager::Acquisition fresh =
+            mgr.Acquire(plan_->tasks[static_cast<std::size_t>(task_id)].working_set);
+        fresh.ready->OnFired(
+            [this, device, task_id, fresh] { RunWithHandle(device, task_id, fresh.handle); });
+      } else {
+        RunWithHandle(device, task_id, acq.handle);
+      }
+    });
+    return;
+  }
+
+  const MemoryManager::Acquisition acq = manager.Acquire(task.working_set);
+  acq.ready->OnFired(
+      [this, device, task_id, acq] { RunWithHandle(device, task_id, acq.handle); });
+}
+
+void Engine::RunWithHandle(int device, TaskId task_id,
+                           MemoryManager::AcquireHandle handle) {
+  const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
+  // The working set is resident; overlap the next task's swap-ins with this compute.
+  ++devices_[static_cast<std::size_t>(device)].next_index;
+  MaybePrefetch(device);
+
+  const double start = sim_->now();
+  if (task.kind == TaskKind::kAllReduce) {
+    collective_->Arrive(task.collective_group, device, task.collective_bytes,
+                        collective_group_size_.at(task.collective_group),
+                        [this, device, task_id, handle, start] {
+                          if (options_.record_timeline) {
+                            timeline_.push_back(TaskTrace{task_id, start, sim_->now()});
+                          }
+                          FinishTask(device, task_id, handle);
+                        });
+    return;
+  }
+
+  const double rate = machine_->gpus[static_cast<std::size_t>(device)].effective_flops();
+  HCHECK_GT(rate, 0.0);
+  const double duration = task.flops / rate;
+  device_busy_[static_cast<std::size_t>(device)] += duration;
+  sim_->ScheduleAfter(duration, [this, device, task_id, handle, start] {
+    if (options_.record_timeline) {
+      timeline_.push_back(TaskTrace{task_id, start, sim_->now()});
+    }
+    FinishTask(device, task_id, handle);
+  });
+}
+
+void Engine::FinishTask(int device, TaskId task_id, MemoryManager::AcquireHandle handle) {
+  const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
+  MemoryManager& manager = memory_->manager(device);
+  for (TensorId id : task.dirty_outputs) {
+    manager.MarkDirty(id);
+  }
+  manager.Release(handle);
+  // Free end-of-life tensors synchronously, before any pump can start evicting them.
+  for (TensorId id : task.free_after) {
+    manager.FreeTensor(id);
+  }
+  ++completed_tasks_;
+  completion_[static_cast<std::size_t>(task_id)]->Fire();
+
+  auto& remaining = iteration_remaining_[static_cast<std::size_t>(task.iteration)];
+  HCHECK_GT(remaining, 0);
+  if (--remaining == 0) {
+    OnIterationComplete(task.iteration);
+  }
+  StartNextTask(device);
+}
+
+void Engine::MaybePrefetch(int device) {
+  if (!options_.prefetch) {
+    return;
+  }
+  const DeviceState& state = devices_[static_cast<std::size_t>(device)];
+  const auto& order = plan_->per_device_order[static_cast<std::size_t>(device)];
+  if (state.next_index >= order.size()) {
+    return;
+  }
+  const TaskId next_id = order[state.next_index];
+  if (prefetched_.count(next_id) > 0) {
+    return;
+  }
+  const Task& next = plan_->tasks[static_cast<std::size_t>(next_id)];
+  for (TaskId dep : next.deps) {
+    if (!completion_[static_cast<std::size_t>(dep)]->fired()) {
+      return;  // inputs not produced yet; prefetching would fetch stale/absent data
+    }
+  }
+  // Size heuristic: only prefetch when the bytes we would bring fit in currently-free
+  // memory. The acquisition is best-effort anyway, so this is purely to avoid useless churn.
+  MemoryManager& manager = memory_->manager(device);
+  const TensorRegistry& registry = memory_->registry();
+  Bytes needed = next.working_set.scratch_bytes;
+  auto add_missing = [&](const std::vector<TensorId>& ids) {
+    for (TensorId id : ids) {
+      if (!manager.IsResidentHere(id)) {
+        needed += registry.meta(id).bytes;
+      }
+    }
+  };
+  add_missing(next.working_set.fetch);
+  add_missing(next.working_set.accumulate);
+  add_missing(next.working_set.allocate);
+  if (needed > manager.capacity() - manager.used_bytes()) {
+    return;
+  }
+  prefetched_.emplace(next_id, manager.Acquire(next.working_set, /*best_effort=*/true));
+}
+
+void Engine::OnIterationComplete(int iteration) {
+  const Snapshot snap = TakeSnapshot();
+  IterationStats stats;
+  stats.iteration = iteration;
+  stats.start_time = last_iteration_end_;
+  stats.end_time = sim_->now();
+  for (int c = 0; c < kNumTensorClasses; ++c) {
+    stats.swap_in_by_class[c] = snap.swap_in_by_class[c] - last_snapshot_.swap_in_by_class[c];
+    stats.swap_out_by_class[c] =
+        snap.swap_out_by_class[c] - last_snapshot_.swap_out_by_class[c];
+    stats.swap_in += stats.swap_in_by_class[c];
+    stats.swap_out += stats.swap_out_by_class[c];
+  }
+  stats.swap_in_per_device.resize(snap.swap_in_per_device.size());
+  stats.swap_out_per_device.resize(snap.swap_out_per_device.size());
+  for (std::size_t d = 0; d < snap.swap_in_per_device.size(); ++d) {
+    stats.swap_in_per_device[d] =
+        snap.swap_in_per_device[d] - last_snapshot_.swap_in_per_device[d];
+    stats.swap_out_per_device[d] =
+        snap.swap_out_per_device[d] - last_snapshot_.swap_out_per_device[d];
+  }
+  stats.p2p_in = snap.p2p - last_snapshot_.p2p;
+  stats.collective_bytes = snap.collective - last_snapshot_.collective;
+  iteration_stats_.push_back(std::move(stats));
+  last_snapshot_ = snap;
+  last_iteration_end_ = sim_->now();
+}
+
+void Engine::ReportDeadlock() const {
+  std::ostringstream os;
+  os << "engine deadlock: " << completed_tasks_ << "/" << plan_->tasks.size()
+     << " tasks completed in plan '" << plan_->scheme << "'\n";
+  for (int d = 0; d < plan_->num_devices(); ++d) {
+    const DeviceState& state = devices_[static_cast<std::size_t>(d)];
+    const auto& order = plan_->per_device_order[static_cast<std::size_t>(d)];
+    os << "  gpu" << d << ": ";
+    if (state.next_index >= order.size()) {
+      os << "drained";
+    } else {
+      const Task& task =
+          plan_->tasks[static_cast<std::size_t>(order[state.next_index - 0])];
+      os << "stalled before " << task.DebugName() << " (used "
+         << FormatBytes(memory_->manager(d).used_bytes()) << " of "
+         << FormatBytes(memory_->manager(d).capacity()) << ")";
+    }
+    os << "\n";
+  }
+  HCHECK(false) << os.str();
+}
+
+}  // namespace harmony

@@ -1,0 +1,110 @@
+// Execution engine: runs a Plan on the simulated machine.
+//
+// Each device executes its queue in order. Per task the engine:
+//   1. waits for cross-device dependencies,
+//   2. acquires the task's working set from the device's MemoryManager (which swaps/evicts
+//      as needed and fires an event when everything is resident and pinned),
+//   3. models compute as flops / device-effective-FLOPs (all-reduce tasks instead rendezvous
+//      through the CollectiveEngine),
+//   4. on completion marks outputs dirty, releases pins, frees end-of-life tensors, and
+//      fires the task's completion event for dependents.
+//
+// With prefetch enabled the engine overlaps the *next* task's swap-ins with the current
+// task's compute (the double-buffering trade-off from the paper's Sec. 4): the next working
+// set is acquired best-effort, so under memory pressure the prefetch cancels itself rather
+// than deadlocking the device.
+#ifndef HARMONY_SRC_RUNTIME_ENGINE_H_
+#define HARMONY_SRC_RUNTIME_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/graph/task.h"
+#include "src/hw/topology.h"
+#include "src/hw/transfer_manager.h"
+#include "src/mem/memory_manager.h"
+#include "src/runtime/collective.h"
+#include "src/runtime/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace harmony {
+
+struct EngineOptions {
+  bool prefetch = true;         // double-buffer the next task's working set
+  bool record_timeline = false;  // keep per-task start/end times (Fig. 4 rendering)
+};
+
+struct TaskTrace {
+  TaskId task = kInvalidTask;
+  double start = 0.0;  // compute begin (after working set resident)
+  double end = 0.0;
+};
+
+class Engine {
+ public:
+  Engine(Simulator* sim, const Machine* machine, MemorySystem* memory,
+         TransferManager* transfers, CollectiveEngine* collective, const Plan* plan,
+         EngineOptions options = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Executes the whole plan to completion (fatal with diagnostics on deadlock) and returns
+  // the measured report.
+  RunReport Run();
+
+  const std::vector<TaskTrace>& timeline() const { return timeline_; }
+
+ private:
+  struct DeviceState {
+    std::size_t next_index = 0;
+  };
+
+  struct Snapshot {
+    Bytes swap_in_by_class[kNumTensorClasses] = {};
+    Bytes swap_out_by_class[kNumTensorClasses] = {};
+    std::vector<Bytes> swap_in_per_device;
+    std::vector<Bytes> swap_out_per_device;
+    Bytes p2p = 0;
+    Bytes collective = 0;
+  };
+
+  void StartNextTask(int device);
+  void AcquireAndRun(int device, TaskId task_id);
+  void RunWithHandle(int device, TaskId task_id, MemoryManager::AcquireHandle handle);
+  void FinishTask(int device, TaskId task_id, MemoryManager::AcquireHandle handle);
+  void MaybePrefetch(int device);
+  Snapshot TakeSnapshot() const;
+  void OnIterationComplete(int iteration);
+  void ReportDeadlock() const;
+
+  Simulator* sim_;
+  const Machine* machine_;
+  MemorySystem* memory_;
+  TransferManager* transfers_;
+  CollectiveEngine* collective_;
+  const Plan* plan_;
+  EngineOptions options_;
+
+  std::vector<std::unique_ptr<OneShotEvent>> completion_;
+  std::vector<DeviceState> devices_;
+  std::map<TaskId, MemoryManager::Acquisition> prefetched_;
+  std::map<int, int> collective_group_size_;
+  std::vector<int> iteration_remaining_;
+  std::vector<double> iteration_end_;
+  Snapshot last_snapshot_;
+  double last_iteration_end_ = 0.0;
+
+  // Per device: tensor -> ascending queue positions of tasks touching it (for the
+  // lookahead-eviction oracle).
+  std::vector<std::map<TensorId, std::vector<std::uint64_t>>> next_use_index_;
+
+  std::vector<double> device_busy_;
+  std::vector<TaskTrace> timeline_;
+  std::vector<IterationStats> iteration_stats_;
+  int completed_tasks_ = 0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_RUNTIME_ENGINE_H_

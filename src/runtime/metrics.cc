@@ -1,0 +1,86 @@
+#include "src/runtime/metrics.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace harmony {
+namespace {
+
+// Averages `get(it)` over steady-state iterations.
+template <typename Fn>
+double SteadyAverage(const std::vector<IterationStats>& iterations, Fn get) {
+  HCHECK(!iterations.empty());
+  if (iterations.size() == 1) {
+    return get(iterations[0]);
+  }
+  double total = 0.0;
+  for (std::size_t i = 1; i < iterations.size(); ++i) {
+    total += get(iterations[i]);
+  }
+  return total / static_cast<double>(iterations.size() - 1);
+}
+
+}  // namespace
+
+double RunReport::steady_iteration_time() const {
+  return SteadyAverage(iterations, [](const IterationStats& it) { return it.duration(); });
+}
+
+double RunReport::steady_throughput() const {
+  const double t = steady_iteration_time();
+  HCHECK_GT(t, 0.0);
+  return static_cast<double>(samples_per_iteration) / t;
+}
+
+Bytes RunReport::steady_swap_in() const {
+  return static_cast<Bytes>(SteadyAverage(
+      iterations, [](const IterationStats& it) { return static_cast<double>(it.swap_in); }));
+}
+
+Bytes RunReport::steady_swap_out() const {
+  return static_cast<Bytes>(SteadyAverage(
+      iterations, [](const IterationStats& it) { return static_cast<double>(it.swap_out); }));
+}
+
+Bytes RunReport::steady_weight_swap() const {
+  return static_cast<Bytes>(SteadyAverage(iterations, [](const IterationStats& it) {
+    return static_cast<double>(it.weight_swap_volume());
+  }));
+}
+
+Bytes RunReport::steady_class_swap(TensorClass cls) const {
+  return static_cast<Bytes>(SteadyAverage(iterations, [cls](const IterationStats& it) {
+    return static_cast<double>(it.swap_in_by_class[static_cast<int>(cls)] +
+                               it.swap_out_by_class[static_cast<int>(cls)]);
+  }));
+}
+
+Bytes RunReport::steady_p2p() const {
+  return static_cast<Bytes>(SteadyAverage(
+      iterations, [](const IterationStats& it) { return static_cast<double>(it.p2p_in); }));
+}
+
+const RunReport::LinkUsage* RunReport::BottleneckLink() const {
+  const LinkUsage* best = nullptr;
+  for (const LinkUsage& link : links) {
+    if (link.bytes > 0 && (best == nullptr || link.utilization > best->utilization)) {
+      best = &link;
+    }
+  }
+  return best;
+}
+
+std::string RunReport::Summary() const {
+  std::ostringstream os;
+  os << scheme << ": makespan " << FormatSeconds(makespan) << ", steady iter "
+     << FormatSeconds(steady_iteration_time()) << " ("
+     << FormatBytesDecimal(static_cast<double>(steady_swap_total())) << " swap/iter, "
+     << FormatBytesDecimal(static_cast<double>(steady_p2p())) << " p2p/iter), throughput ";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f samples/s", steady_throughput());
+  os << buffer;
+  return os.str();
+}
+
+}  // namespace harmony

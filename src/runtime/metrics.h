@@ -1,0 +1,91 @@
+// Run reports: what a simulated training run measured.
+//
+// The engine snapshots memory/transfer counters at every iteration boundary so the benches
+// can report *steady-state* per-iteration quantities (iteration 0 pays one-time costs:
+// first-touch weight uploads, input staging), matching how the paper reports per-iteration
+// swap volume.
+#ifndef HARMONY_SRC_RUNTIME_METRICS_H_
+#define HARMONY_SRC_RUNTIME_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mem/memory_manager.h"
+#include "src/util/units.h"
+
+namespace harmony {
+
+struct IterationStats {
+  int iteration = 0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  double duration() const { return end_time - start_time; }
+
+  // Deltas over this iteration.
+  Bytes swap_in = 0;
+  Bytes swap_out = 0;
+  Bytes p2p_in = 0;
+  Bytes collective_bytes = 0;
+  Bytes swap_in_by_class[kNumTensorClasses] = {};
+  Bytes swap_out_by_class[kNumTensorClasses] = {};
+  std::vector<Bytes> swap_in_per_device;
+  std::vector<Bytes> swap_out_per_device;
+
+  Bytes swap_total() const { return swap_in + swap_out; }
+  Bytes weight_swap_volume() const {
+    return swap_in_by_class[static_cast<int>(TensorClass::kWeight)] +
+           swap_out_by_class[static_cast<int>(TensorClass::kWeight)];
+  }
+};
+
+struct RunReport {
+  std::string scheme;
+  double makespan = 0.0;
+  int samples_per_iteration = 0;
+  std::vector<IterationStats> iterations;
+
+  // Whole-run, per-device.
+  std::vector<double> device_busy;        // compute seconds
+  std::vector<Bytes> device_swap_in;
+  std::vector<Bytes> device_swap_out;
+  std::vector<Bytes> device_high_water;
+  std::vector<std::int64_t> device_evictions;
+  std::vector<std::int64_t> device_defrags;
+
+  // Per-link accounting over the whole run ("where did the bytes actually flow").
+  struct LinkUsage {
+    std::string name;      // "gpu0 -> pcie-sw0"
+    Bytes bytes = 0;
+    double busy_time = 0.0;
+    double utilization = 0.0;  // busy_time / makespan
+  };
+  std::vector<LinkUsage> links;
+
+  // The hottest link (by utilization); empty name when no traffic flowed.
+  const LinkUsage* BottleneckLink() const;
+
+  // Whole-run totals.
+  Bytes total_swap_in = 0;
+  Bytes total_swap_out = 0;
+  Bytes total_p2p = 0;
+  Bytes total_collective = 0;
+
+  int num_devices() const { return static_cast<int>(device_busy.size()); }
+
+  // Steady-state = average over iterations [1, n); falls back to iteration 0 for
+  // single-iteration runs.
+  double steady_iteration_time() const;
+  double steady_throughput() const;  // samples / sec
+  Bytes steady_swap_in() const;
+  Bytes steady_swap_out() const;
+  Bytes steady_swap_total() const { return steady_swap_in() + steady_swap_out(); }
+  Bytes steady_weight_swap() const;
+  Bytes steady_class_swap(TensorClass cls) const;  // in + out for one class
+  Bytes steady_p2p() const;
+
+  std::string Summary() const;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_RUNTIME_METRICS_H_

@@ -1,0 +1,65 @@
+#include "src/runtime/report_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/table.h"
+
+namespace harmony {
+
+std::string ReportToCsv(const RunReport& report) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  std::vector<std::string> header = {"iteration", "start_s",   "end_s",      "duration_s",
+                                     "swap_in",   "swap_out",  "p2p_in",     "collective"};
+  for (int c = 0; c < kNumTensorClasses; ++c) {
+    header.push_back(std::string("in_") + TensorClassName(static_cast<TensorClass>(c)));
+    header.push_back(std::string("out_") + TensorClassName(static_cast<TensorClass>(c)));
+  }
+  csv.WriteRow(header);
+  for (const IterationStats& it : report.iterations) {
+    std::vector<std::string> row = {
+        std::to_string(it.iteration),        std::to_string(it.start_time),
+        std::to_string(it.end_time),         std::to_string(it.duration()),
+        std::to_string(it.swap_in),          std::to_string(it.swap_out),
+        std::to_string(it.p2p_in),           std::to_string(it.collective_bytes)};
+    for (int c = 0; c < kNumTensorClasses; ++c) {
+      row.push_back(std::to_string(it.swap_in_by_class[c]));
+      row.push_back(std::to_string(it.swap_out_by_class[c]));
+    }
+    csv.WriteRow(row);
+  }
+  return os.str();
+}
+
+std::string ReportToMarkdown(const RunReport& report) {
+  std::ostringstream os;
+  os << "### " << report.scheme << "\n\n" << report.Summary() << "\n\n";
+  os << "| device | busy (s) | swap-in | swap-out | high water | evictions | defrags |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  for (int d = 0; d < report.num_devices(); ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    os << "| gpu" << d << " | ";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f", report.device_busy[i]);
+    os << buffer << " | " << FormatBytes(report.device_swap_in[i]) << " | "
+       << FormatBytes(report.device_swap_out[i]) << " | "
+       << FormatBytes(report.device_high_water[i]) << " | " << report.device_evictions[i]
+       << " | " << report.device_defrags[i] << " |\n";
+  }
+  return os.str();
+}
+
+Status WriteReportCsv(const RunReport& report, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return InternalError("cannot open report file " + path);
+  }
+  file << ReportToCsv(report);
+  if (!file.good()) {
+    return InternalError("failed writing report file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace harmony

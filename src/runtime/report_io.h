@@ -1,0 +1,24 @@
+// Report serialization: CSV (for plotting pipelines) and a markdown summary (for pasting
+// into issues / EXPERIMENTS.md-style records).
+#ifndef HARMONY_SRC_RUNTIME_REPORT_IO_H_
+#define HARMONY_SRC_RUNTIME_REPORT_IO_H_
+
+#include <string>
+
+#include "src/runtime/metrics.h"
+#include "src/util/status.h"
+
+namespace harmony {
+
+// One CSV row per iteration: iteration, start, end, duration, swap_in, swap_out, p2p,
+// collective, plus per-class swap-in/out columns.
+std::string ReportToCsv(const RunReport& report);
+
+// Compact markdown: a header line, the steady-state summary, and a per-device table.
+std::string ReportToMarkdown(const RunReport& report);
+
+Status WriteReportCsv(const RunReport& report, const std::string& path);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_RUNTIME_REPORT_IO_H_

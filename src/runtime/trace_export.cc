@@ -1,0 +1,86 @@
+#include "src/runtime/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace harmony {
+namespace {
+
+const char* CategoryOf(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kForward:
+      return "forward";
+    case TaskKind::kLoss:
+      return "loss";
+    case TaskKind::kBackward:
+      return "backward";
+    case TaskKind::kUpdate:
+      return "update";
+    case TaskKind::kAllReduce:
+      return "allreduce";
+  }
+  return "other";
+}
+
+void AppendEscaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string TimelineToChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buffer[128];
+  for (const TaskTrace& trace : timeline) {
+    const Task& task = plan.tasks[static_cast<std::size_t>(trace.task)];
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, task.DebugName());
+    out += "\",\"cat\":\"";
+    out += CategoryOf(task.kind);
+    // pid = 0 (one process), tid = device index; timestamps in microseconds.
+    std::snprintf(buffer, sizeof(buffer),
+                  "\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,", task.device,
+                  trace.start * 1e6, (trace.end - trace.start) * 1e6);
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"args\":{\"iteration\":%d,\"microbatch\":%d,\"layers\":\"[%d,%d)\"}}",
+                  task.iteration, task.microbatch, task.layer_begin, task.layer_end);
+    out += buffer;
+  }
+  // Thread name metadata so tracks read "gpu0", "gpu1", ...
+  for (int d = 0; d < plan.num_devices(); ++d) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+                  "\"args\":{\"name\":\"gpu%d\"}}",
+                  d, d);
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline,
+                        const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return InternalError("cannot open trace file " + path);
+  }
+  file << TimelineToChromeTrace(plan, timeline);
+  if (!file.good()) {
+    return InternalError("failed writing trace file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace harmony

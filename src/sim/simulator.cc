@@ -1,0 +1,72 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace harmony {
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  HCHECK_GE(when, now_) << "cannot schedule into the past";
+  queue_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  HCHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+SimTime Simulator::RunUntilIdle(std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (RunOne()) {
+    HCHECK_GT(budget, 0u) << "simulator event budget exhausted (livelock in schedule?)";
+    --budget;
+  }
+  return now_;
+}
+
+bool Simulator::RunOne() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; move out via const_cast is the standard idiom but we
+  // copy the function instead to keep this simple and safe (events are small closures).
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.when;
+  ++events_processed_;
+  entry.fn();
+  return true;
+}
+
+void OneShotEvent::Fire() {
+  HCHECK(!fired_) << "OneShotEvent fired twice";
+  fired_ = true;
+  fire_time_ = sim_->now();
+  for (auto& waiter : waiters_) {
+    sim_->ScheduleAfter(0.0, std::move(waiter));
+  }
+  waiters_.clear();
+}
+
+void OneShotEvent::OnFired(std::function<void()> fn) {
+  if (fired_) {
+    sim_->ScheduleAfter(0.0, std::move(fn));
+  } else {
+    waiters_.push_back(std::move(fn));
+  }
+}
+
+void CountdownEvent::Arrive() {
+  HCHECK_GT(remaining_, 0) << "CountdownEvent::Arrive past zero";
+  --remaining_;
+  if (remaining_ == 0) {
+    done_.Fire();
+  }
+}
+
+void CountdownEvent::Expect(int additional) {
+  HCHECK_GT(additional, 0);
+  HCHECK(!done_.fired()) << "CountdownEvent::Expect after fire";
+  remaining_ += additional;
+}
+
+}  // namespace harmony

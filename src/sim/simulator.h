@@ -1,0 +1,125 @@
+// Deterministic discrete-event simulation core.
+//
+// Everything in Harmony's hardware substrate (links, DMA engines, GPU compute streams) is
+// driven by one single-threaded Simulator. Events scheduled for the same timestamp run in
+// insertion order (a monotonically increasing sequence number breaks ties), so every
+// experiment is reproducible bit-for-bit.
+#ifndef HARMONY_SRC_SIM_SIMULATOR_H_
+#define HARMONY_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+// Simulated time, in seconds.
+using SimTime = double;
+
+inline constexpr SimTime kSimTimeNever = -1.0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // Schedules `fn` to run at absolute time `when` (must be >= now()).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  void ScheduleAfter(SimTime delay, std::function<void()> fn);
+
+  // Runs events until the queue drains. Returns the final simulated time. The event budget
+  // guards against runaway loops in buggy schedules; exceeding it is a fatal error.
+  SimTime RunUntilIdle(std::uint64_t max_events = 500'000'000);
+
+  // Runs exactly one event if available; returns false when the queue is empty.
+  bool RunOne();
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+};
+
+// One-shot waitable event. Waiters registered before the fire run (in registration order) as
+// fresh simulator events at the fire time; waiters registered after the fire run as fresh
+// events at the current time. This "always asynchronous" rule avoids re-entrancy surprises.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Simulator* sim) : sim_(sim) { HCHECK(sim != nullptr); }
+  OneShotEvent(const OneShotEvent&) = delete;
+  OneShotEvent& operator=(const OneShotEvent&) = delete;
+
+  bool fired() const { return fired_; }
+  // Valid only after fired().
+  SimTime fire_time() const {
+    HCHECK(fired_);
+    return fire_time_;
+  }
+
+  // Fires the event at the current simulated time. Must be called at most once.
+  void Fire();
+
+  // Registers a callback to run (as a fresh event) once the event has fired.
+  void OnFired(std::function<void()> fn);
+
+ private:
+  Simulator* sim_;
+  bool fired_ = false;
+  SimTime fire_time_ = kSimTimeNever;
+  std::vector<std::function<void()>> waiters_;
+};
+
+// Fires an inner OneShotEvent once `count` arrivals have been recorded. Used for joins:
+// "run when all input transfers complete", "all devices reached the allreduce".
+class CountdownEvent {
+ public:
+  CountdownEvent(Simulator* sim, int count) : remaining_(count), done_(sim) {
+    HCHECK_GE(count, 0);
+    if (count == 0) {
+      done_.Fire();
+    }
+  }
+
+  // Records one arrival; fires when the count reaches zero.
+  void Arrive();
+
+  // Registers additional expected arrivals before any Arrive() exhausts the count.
+  void Expect(int additional);
+
+  bool fired() const { return done_.fired(); }
+  void OnFired(std::function<void()> fn) { done_.OnFired(std::move(fn)); }
+
+ private:
+  int remaining_;
+  OneShotEvent done_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,61 @@
+// Invariant-checking macros for the Harmony libraries.
+//
+// These are used for programmer errors and internal invariants: they log the failing
+// condition with its source location and abort. Recoverable errors (bad user configuration,
+// infeasible schedules) are reported through Status/StatusOr instead; see status.h.
+#ifndef HARMONY_SRC_UTIL_CHECK_H_
+#define HARMONY_SRC_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace harmony {
+
+// Helper that accumulates a failure message and aborts on destruction. Using a class (rather
+// than a naked macro) lets callers stream extra context: HCHECK(ok) << "while doing X".
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: " << condition << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace harmony
+
+#define HCHECK(condition)                                        \
+  if (condition) {                                               \
+  } else /* NOLINT */                                            \
+    ::harmony::CheckFailure(#condition, __FILE__, __LINE__)
+
+#define HCHECK_OP(lhs, op, rhs)                                                             \
+  if ((lhs)op(rhs)) {                                                                       \
+  } else /* NOLINT */                                                                       \
+    ::harmony::CheckFailure(#lhs " " #op " " #rhs, __FILE__, __LINE__)                      \
+        << "(" << (lhs) << " vs " << (rhs) << ") "
+
+#define HCHECK_EQ(lhs, rhs) HCHECK_OP(lhs, ==, rhs)
+#define HCHECK_NE(lhs, rhs) HCHECK_OP(lhs, !=, rhs)
+#define HCHECK_LT(lhs, rhs) HCHECK_OP(lhs, <, rhs)
+#define HCHECK_LE(lhs, rhs) HCHECK_OP(lhs, <=, rhs)
+#define HCHECK_GT(lhs, rhs) HCHECK_OP(lhs, >, rhs)
+#define HCHECK_GE(lhs, rhs) HCHECK_OP(lhs, >=, rhs)
+
+#endif  // HARMONY_SRC_UTIL_CHECK_H_

@@ -1,0 +1,80 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+FlagParser& FlagParser::Define(const std::string& name, const std::string& default_value,
+                               const std::string& help) {
+  HCHECK(flags_.find(name) == flags_.end()) << "duplicate flag --" << name;
+  flags_[name] = Flag{default_value, default_value, help};
+  order_.push_back(name);
+  return *this;
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return InvalidArgumentError("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + name);
+    }
+    if (!has_value) {
+      // "--flag value" when the next token is not a flag; bare "--flag" means true.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return Status::Ok();
+}
+
+const std::string& FlagParser::Get(const std::string& name) const {
+  auto it = flags_.find(name);
+  HCHECK(it != flags_.end()) << "undeclared flag --" << name;
+  return it->second.value;
+}
+
+int FlagParser::GetInt(const std::string& name) const {
+  return static_cast<int>(std::strtol(Get(name).c_str(), nullptr, 10));
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(Get(name).c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& v = Get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    os << "  --" << name << " (default: " << flag.default_value << ")  " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace harmony

@@ -1,0 +1,50 @@
+#include "src/util/logging.h"
+
+#include <cstring>
+#include <iostream>
+
+namespace harmony {
+namespace {
+
+LogSeverity g_threshold = LogSeverity::kWarning;
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+// Strips the leading directories so log lines show "runtime/engine.cc" style paths.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogThreshold(LogSeverity severity) { g_threshold = severity; }
+
+LogSeverity LogThreshold() { return g_threshold; }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : enabled_(static_cast<int>(severity) >= static_cast<int>(g_threshold)) {
+  if (enabled_) {
+    stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << "\n";
+  }
+}
+
+}  // namespace harmony

@@ -1,0 +1,53 @@
+// Minimal severity-based logging for the Harmony libraries.
+//
+// Usage:
+//   HLOG(kInfo) << "scheduled " << n << " tasks";
+//
+// The global threshold defaults to kWarning so that library code is quiet in tests and
+// benchmarks; examples raise it to kInfo. Logging is line-buffered to stderr.
+#ifndef HARMONY_SRC_UTIL_LOGGING_H_
+#define HARMONY_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace harmony {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets / reads the global minimum severity that is actually emitted.
+void SetLogThreshold(LogSeverity severity);
+LogSeverity LogThreshold();
+
+// One log statement; flushes its accumulated line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace harmony
+
+#define HLOG(severity) \
+  ::harmony::LogMessage(::harmony::LogSeverity::severity, __FILE__, __LINE__)
+
+#endif  // HARMONY_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of Harmony (weight initialization in the numeric substrate, workload
+// jitter in benches) draw from this SplitMix64-based generator so every run is reproducible
+// from a single seed, independent of the standard library implementation.
+#ifndef HARMONY_SRC_UTIL_RNG_H_
+#define HARMONY_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace harmony {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  std::uint64_t NextU64() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound) { return NextU64() % bound; }
+
+  // Standard normal via Box-Muller (one value per call; the pair's second half is dropped
+  // for simplicity — determinism matters more than throughput here).
+  double NextGaussian();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_UTIL_RNG_H_

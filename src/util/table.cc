@@ -1,0 +1,117 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HCHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  HCHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(const char* value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  cells_.emplace_back(buffer);
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(int value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        os << "  ";
+      }
+      // Right-align numeric-looking cells, left-align the first (label) column.
+      const std::string& cell = cells[c];
+      const std::size_t pad = widths[c] - cell.size();
+      const bool left = (c == 0);
+      if (left) {
+        os << cell << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cell;
+      }
+    }
+    os << "\n";
+  };
+
+  emit_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule.emplace_back(widths[c], '-');
+  }
+  emit_row(rule);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c > 0) {
+      os_ << ",";
+    }
+    const std::string& cell = cells[c];
+    if (cell.find(',') != std::string::npos || cell.find('"') != std::string::npos) {
+      os_ << '"';
+      for (char ch : cell) {
+        if (ch == '"') {
+          os_ << '"';
+        }
+        os_ << ch;
+      }
+      os_ << '"';
+    } else {
+      os_ << cell;
+    }
+  }
+  os_ << "\n";
+}
+
+}  // namespace harmony

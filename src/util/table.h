@@ -1,0 +1,68 @@
+// ASCII table rendering for bench/example output.
+//
+// The benches reproduce the paper's tables and figure series as text tables; TablePrinter
+// handles column alignment so every bench prints in a uniform style.
+#ifndef HARMONY_SRC_UTIL_TABLE_H_
+#define HARMONY_SRC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+class TablePrinter {
+ public:
+  // `headers` fixes the column count; every AddRow must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for mixed-type rows: formats doubles with `precision` digits.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TablePrinter* table) : table_(table) {}
+    RowBuilder& Cell(const std::string& value);
+    RowBuilder& Cell(const char* value);
+    RowBuilder& Cell(double value, int precision = 2);
+    RowBuilder& Cell(std::int64_t value);
+    RowBuilder& Cell(int value);
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    TablePrinter* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  // Renders with a header rule, e.g.:
+  //   scheme        swap (GB)  throughput
+  //   ------------  ---------  ----------
+  //   baseline-DP       45.20        1.31
+  std::string ToString() const;
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Writes rows as CSV (quotes cells containing commas); used to dump bench series for
+// external plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_UTIL_TABLE_H_

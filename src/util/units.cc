@@ -1,0 +1,82 @@
+#include "src/util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace harmony {
+namespace {
+
+std::string FormatWithSuffix(double value, const char* suffix) {
+  char buffer[64];
+  if (value >= 100.0 || value == std::floor(value)) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f %s", value, suffix);
+  } else if (value >= 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f %s", value, suffix);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f %s", value, suffix);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string FormatBytes(Bytes bytes) {
+  const double v = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    return FormatWithSuffix(v / static_cast<double>(kGiB), "GiB");
+  }
+  if (bytes >= kMiB) {
+    return FormatWithSuffix(v / static_cast<double>(kMiB), "MiB");
+  }
+  if (bytes >= kKiB) {
+    return FormatWithSuffix(v / static_cast<double>(kKiB), "KiB");
+  }
+  return FormatWithSuffix(v, "B");
+}
+
+std::string FormatBytesDecimal(double bytes) {
+  if (bytes >= kGB) {
+    return FormatWithSuffix(bytes / kGB, "GB");
+  }
+  if (bytes >= kMB) {
+    return FormatWithSuffix(bytes / kMB, "MB");
+  }
+  if (bytes >= kKB) {
+    return FormatWithSuffix(bytes / kKB, "KB");
+  }
+  return FormatWithSuffix(bytes, "B");
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds >= 1.0) {
+    return FormatWithSuffix(seconds, "s");
+  }
+  if (seconds >= 1e-3) {
+    return FormatWithSuffix(seconds * 1e3, "ms");
+  }
+  if (seconds >= 1e-6) {
+    return FormatWithSuffix(seconds * 1e6, "us");
+  }
+  return FormatWithSuffix(seconds * 1e9, "ns");
+}
+
+std::string FormatBandwidth(double bytes_per_second) {
+  return FormatBytesDecimal(bytes_per_second) + "/s";
+}
+
+std::string FormatCount(std::int64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  const bool negative = !digits.empty() && digits[0] == '-';
+  const std::size_t start = negative ? 1 : 0;
+  const std::size_t n = digits.size() - start;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) {
+      result += ',';
+    }
+    result += digits[start + i];
+  }
+  return (negative ? "-" : "") + result;
+}
+
+}  // namespace harmony

@@ -1,0 +1,52 @@
+// Units and formatting helpers shared across the Harmony libraries.
+//
+// Conventions:
+//   - byte counts are int64_t (Bytes alias)
+//   - simulated time is double seconds (sim/time.h wraps this)
+//   - bandwidths are double bytes/second, compute rates double FLOP/s
+#ifndef HARMONY_SRC_UTIL_UNITS_H_
+#define HARMONY_SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace harmony {
+
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// Decimal units, used for link bandwidths (PCIe marketing numbers are decimal).
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+inline constexpr double kGFLOPs = 1e9;
+inline constexpr double kTFLOPs = 1e12;
+
+// "11.3 TFLOP/s" etc.
+inline constexpr double TFlops(double v) { return v * kTFLOPs; }
+// "12.8 GB/s" etc.
+inline constexpr double GBps(double v) { return v * kGB; }
+
+// Renders a byte count with a binary suffix, e.g. "1.36 GiB" or "512 B".
+std::string FormatBytes(Bytes bytes);
+
+// Renders a byte count with a decimal suffix, e.g. "1.4 GB" (used when matching the paper's
+// figures, which report decimal GB).
+std::string FormatBytesDecimal(double bytes);
+
+// Renders seconds with an adaptive unit, e.g. "1.25 s", "380 ms", "12 us".
+std::string FormatSeconds(double seconds);
+
+// Renders a bandwidth, e.g. "12.8 GB/s".
+std::string FormatBandwidth(double bytes_per_second);
+
+// Renders a count with thousands separators, e.g. "1,234,567".
+std::string FormatCount(std::int64_t value);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_UTIL_UNITS_H_

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/topology.h"
+#include "src/util/rng.h"
+#include "src/hw/transfer_manager.h"
+#include "src/sim/simulator.h"
+
+namespace harmony {
+namespace {
+
+ServerConfig FourGpuServer() {
+  ServerConfig config;
+  config.num_gpus = 4;
+  config.gpus_per_switch = 4;
+  return config;
+}
+
+TEST(TopologyTest, CommodityServerShape) {
+  const Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  EXPECT_EQ(topo.num_gpus(), 4);
+  // host + 1 switch + 4 gpus
+  EXPECT_EQ(topo.num_nodes(), 6);
+  // 5 duplex links = 10 directed
+  EXPECT_EQ(topo.num_links(), 10);
+}
+
+TEST(TopologyTest, GpuToHostRouteCrossesSwitch) {
+  const Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  const auto& route = topo.Route(topo.gpu_node(0), topo.host_node());
+  EXPECT_EQ(route.size(), 2u);  // gpu -> switch -> host
+  EXPECT_EQ(topo.link(route.back()).dst, topo.host_node());
+}
+
+TEST(TopologyTest, PeerRouteUnderOneSwitchAvoidsHost) {
+  const Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  EXPECT_TRUE(topo.RouteAvoidsHost(topo.gpu_node(0), topo.gpu_node(3)));
+}
+
+TEST(TopologyTest, PeerRouteAcrossSwitchesCrossesHost) {
+  ServerConfig config = FourGpuServer();
+  config.gpus_per_switch = 2;  // gpus {0,1} on sw0, {2,3} on sw1
+  const Topology topo = MakeCommodityServerTopology(config);
+  EXPECT_TRUE(topo.RouteAvoidsHost(topo.gpu_node(0), topo.gpu_node(1)));
+  EXPECT_FALSE(topo.RouteAvoidsHost(topo.gpu_node(0), topo.gpu_node(2)));
+}
+
+TEST(TopologyTest, RoutesAreSymmetricInLength) {
+  const Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) {
+        continue;
+      }
+      EXPECT_EQ(topo.Route(topo.gpu_node(a), topo.gpu_node(b)).size(),
+                topo.Route(topo.gpu_node(b), topo.gpu_node(a)).size());
+    }
+  }
+}
+
+TEST(TopologyTest, DescribeRoutesMentionsEveryGpu) {
+  const Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  const std::string desc = topo.DescribeRoutes();
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_NE(desc.find("gpu" + std::to_string(g)), std::string::npos);
+  }
+}
+
+TEST(TopologyTest, MachineCarriesGpuSpecs) {
+  const Machine machine = MakeCommodityServer(FourGpuServer());
+  EXPECT_EQ(machine.num_gpus(), 4);
+  EXPECT_EQ(machine.gpus[0].memory_bytes, 11 * kGiB);
+  EXPECT_GT(machine.gpus[0].effective_flops(), 0.0);
+}
+
+// ---- TransferManager ------------------------------------------------------------------------
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() : topo_(MakeCommodityServerTopology(FourGpuServer())), tm_(&sim_, &topo_) {}
+
+  Simulator sim_;
+  Topology topo_;
+  TransferManager tm_;
+};
+
+TEST_F(TransferTest, SingleFlowGetsFullBandwidth) {
+  // 12.8 GB over a 12.8 GB/s path: ~1 s (+ negligible latency).
+  OneShotEvent* done =
+      tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(),
+                        static_cast<Bytes>(GBps(12.8)), TransferKind::kSwapOut);
+  sim_.RunUntilIdle();
+  ASSERT_TRUE(done->fired());
+  EXPECT_NEAR(done->fire_time(), 1.0, 1e-3);
+}
+
+TEST_F(TransferTest, TwoFlowsShareTheUplink) {
+  // Two GPUs swapping to host share the single switch->host link: each takes ~2x as long.
+  const Bytes bytes = static_cast<Bytes>(GBps(12.8));
+  OneShotEvent* a =
+      tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(), bytes, TransferKind::kSwapOut);
+  OneShotEvent* b =
+      tm_.StartTransfer(topo_.gpu_node(1), topo_.host_node(), bytes, TransferKind::kSwapOut);
+  sim_.RunUntilIdle();
+  EXPECT_NEAR(a->fire_time(), 2.0, 1e-2);
+  EXPECT_NEAR(b->fire_time(), 2.0, 1e-2);
+}
+
+TEST_F(TransferTest, PeerToPeerAvoidsUplinkContention) {
+  // gpu0->gpu1 p2p and gpu2->host swap share no link: both finish in ~1 s.
+  const Bytes bytes = static_cast<Bytes>(GBps(12.8));
+  OneShotEvent* p2p =
+      tm_.StartTransfer(topo_.gpu_node(0), topo_.gpu_node(1), bytes, TransferKind::kPeerToPeer);
+  OneShotEvent* swap =
+      tm_.StartTransfer(topo_.gpu_node(2), topo_.host_node(), bytes, TransferKind::kSwapOut);
+  sim_.RunUntilIdle();
+  EXPECT_NEAR(p2p->fire_time(), 1.0, 1e-2);
+  EXPECT_NEAR(swap->fire_time(), 1.0, 1e-2);
+}
+
+TEST_F(TransferTest, StaggeredFlowSpeedsUpAfterFirstFinishes) {
+  const Bytes bytes = static_cast<Bytes>(GBps(12.8));
+  tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(), bytes, TransferKind::kSwapOut);
+  OneShotEvent* late = nullptr;
+  sim_.ScheduleAt(0.5, [&] {
+    late = tm_.StartTransfer(topo_.gpu_node(1), topo_.host_node(), bytes,
+                             TransferKind::kSwapOut);
+  });
+  sim_.RunUntilIdle();
+  // At t=0.5 flow A has 6.4 GB left; both share the uplink at 6.4 GB/s, so A lands at
+  // t=1.5 having let B move 6.4 GB; B's remaining 6.4 GB then runs alone: done at t=2.0.
+  ASSERT_NE(late, nullptr);
+  EXPECT_NEAR(late->fire_time(), 2.0, 0.05);
+}
+
+TEST_F(TransferTest, ZeroByteTransferCompletesAfterLatency) {
+  OneShotEvent* done =
+      tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(), 0, TransferKind::kSwapOut);
+  sim_.RunUntilIdle();
+  ASSERT_TRUE(done->fired());
+  EXPECT_NEAR(done->fire_time(), 1e-5, 1e-6);  // 2 hops x 5 us
+}
+
+TEST_F(TransferTest, SameNodeTransferIsImmediate) {
+  OneShotEvent* done =
+      tm_.StartTransfer(topo_.gpu_node(0), topo_.gpu_node(0), 1000, TransferKind::kOther);
+  sim_.RunUntilIdle();
+  ASSERT_TRUE(done->fired());
+  EXPECT_DOUBLE_EQ(done->fire_time(), 0.0);
+}
+
+TEST_F(TransferTest, AccountsBytesByKind) {
+  tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(), 100, TransferKind::kSwapOut);
+  tm_.StartTransfer(topo_.host_node(), topo_.gpu_node(0), 250, TransferKind::kSwapIn);
+  tm_.StartTransfer(topo_.gpu_node(0), topo_.gpu_node(1), 70, TransferKind::kPeerToPeer);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(tm_.bytes_by_kind(TransferKind::kSwapOut), 100);
+  EXPECT_EQ(tm_.bytes_by_kind(TransferKind::kSwapIn), 250);
+  EXPECT_EQ(tm_.bytes_by_kind(TransferKind::kPeerToPeer), 70);
+  EXPECT_EQ(tm_.total_bytes(), 420);
+  EXPECT_EQ(tm_.flows_completed(), 3);
+}
+
+TEST_F(TransferTest, LinkStatsAccumulateCarriedBytes) {
+  const Bytes bytes = 1000;
+  tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(), bytes, TransferKind::kSwapOut);
+  sim_.RunUntilIdle();
+  Bytes carried = 0;
+  double busy = 0.0;
+  for (LinkId l = 0; l < topo_.num_links(); ++l) {
+    carried += tm_.link_stats(l).bytes_carried;
+    busy += tm_.link_stats(l).busy_time;
+  }
+  EXPECT_EQ(carried, 2 * bytes);  // two hops
+  EXPECT_GT(busy, 0.0);
+}
+
+TEST_F(TransferTest, TransferKindNamesAreStable) {
+  EXPECT_STREQ(TransferKindName(TransferKind::kSwapIn), "swap-in");
+  EXPECT_STREQ(TransferKindName(TransferKind::kSwapOut), "swap-out");
+  EXPECT_STREQ(TransferKindName(TransferKind::kPeerToPeer), "p2p");
+  EXPECT_STREQ(TransferKindName(TransferKind::kCollective), "collective");
+}
+
+// Bandwidth conservation: N concurrent equal flows through the shared uplink take ~N times
+// as long as one flow, i.e. aggregate throughput is capped by the bottleneck link.
+class UplinkContentionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UplinkContentionTest, AggregateThroughputCappedByUplink) {
+  const int n = GetParam();
+  ServerConfig config;
+  config.num_gpus = 8;
+  config.gpus_per_switch = 8;
+  Topology topo = MakeCommodityServerTopology(config);
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+  const Bytes bytes = static_cast<Bytes>(GBps(12.8));  // 1 s alone
+  std::vector<OneShotEvent*> done;
+  for (int g = 0; g < n; ++g) {
+    done.push_back(
+        tm.StartTransfer(topo.gpu_node(g), topo.host_node(), bytes, TransferKind::kSwapOut));
+  }
+  sim.RunUntilIdle();
+  for (OneShotEvent* event : done) {
+    EXPECT_NEAR(event->fire_time(), static_cast<double>(n), 0.05 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contention, UplinkContentionTest, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// Property sweep: random flow sets must respect physical limits — no link ever carries more
+// than bandwidth x busy-time, and every flow finishes no sooner than its contention-free
+// lower bound.
+class RandomFlowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFlowTest, ConservationAndLowerBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 99);
+  ServerConfig config;
+  config.num_gpus = 4;
+  config.gpus_per_switch = 4;
+  Topology topo = MakeCommodityServerTopology(config);
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+
+  struct Expected {
+    OneShotEvent* done;
+    double start;
+    double min_duration;
+  };
+  std::vector<Expected> flows;
+  const int n = 3 + static_cast<int>(rng.NextBounded(10));
+  for (int f = 0; f < n; ++f) {
+    const double start = rng.NextDouble() * 0.5;
+    const int src_gpu = static_cast<int>(rng.NextBounded(4));
+    const bool to_host = rng.NextBounded(2) == 0;
+    int dst_gpu = static_cast<int>(rng.NextBounded(4));
+    if (dst_gpu == src_gpu) {
+      dst_gpu = (dst_gpu + 1) % 4;
+    }
+    const Bytes bytes = static_cast<Bytes>((1 + rng.NextBounded(64)) * 16 * kMiB);
+    const NodeId src = topo.gpu_node(src_gpu);
+    const NodeId dst = to_host ? topo.host_node() : topo.gpu_node(dst_gpu);
+    // Contention-free bound: bytes / min link bandwidth on the route.
+    double min_bw = 1e30;
+    for (LinkId lid : topo.Route(src, dst)) {
+      min_bw = std::min(min_bw, topo.link(lid).spec.bandwidth_bytes_per_sec);
+    }
+    Expected expected{nullptr, start, static_cast<double>(bytes) / min_bw};
+    flows.push_back(expected);
+    const std::size_t slot = flows.size() - 1;
+    sim.ScheduleAt(start, [&tm, &flows, slot, src, dst, bytes] {
+      flows[slot].done =
+          tm.StartTransfer(src, dst, bytes, TransferKind::kOther);
+    });
+  }
+  sim.RunUntilIdle();
+
+  for (const Expected& flow : flows) {
+    ASSERT_NE(flow.done, nullptr);
+    ASSERT_TRUE(flow.done->fired());
+    EXPECT_GE(flow.done->fire_time() - flow.start, flow.min_duration - 1e-6);
+  }
+  // Conservation: a link cannot carry more bytes than bandwidth x busy time.
+  for (LinkId lid = 0; lid < topo.num_links(); ++lid) {
+    const LinkStats& stats = tm.link_stats(lid);
+    EXPECT_LE(static_cast<double>(stats.bytes_carried),
+              topo.link(lid).spec.bandwidth_bytes_per_sec * stats.busy_time + 1.0)
+        << "link " << lid;
+  }
+  EXPECT_EQ(tm.flows_completed(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlowTest, ::testing::Range(0, 12));
+
+TEST(TopologyDeathTest, FinalizeWithoutHostAborts) {
+  Topology topo;
+  topo.AddNode(NodeKind::kGpu, "gpu0");
+  EXPECT_DEATH(topo.Finalize(), "host");
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/numeric/matrix.h"
+#include "src/numeric/mlp.h"
+#include "src/numeric/plan_executor.h"
+#include "src/numeric/reference.h"
+
+namespace harmony {
+namespace {
+
+// ---- Matrix kernels ------------------------------------------------------------------------
+
+TEST(MatrixTest, MatMulSmall) {
+  Mat a(2, 3);
+  Mat b(3, 2);
+  int v = 1;
+  for (double& x : a.v) {
+    x = v++;
+  }
+  for (double& x : b.v) {
+    x = v++;
+  }
+  const Mat c = MatMul(a, b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedProductsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Mat a(4, 5), b(6, 5), c(4, 7);
+  for (double& x : a.v) {
+    x = rng.NextGaussian();
+  }
+  for (double& x : b.v) {
+    x = rng.NextGaussian();
+  }
+  for (double& x : c.v) {
+    x = rng.NextGaussian();
+  }
+  // MatMulBt(a, b) == a * b^T
+  Mat bt(5, 6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      bt.at(j, i) = b.at(i, j);
+    }
+  }
+  EXPECT_LT(MaxAbsDiff(MatMulBt(a, b), MatMul(a, bt)), 1e-12);
+  // MatMulAt(a, c) == a^T * c
+  Mat at(5, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      at.at(j, i) = a.at(i, j);
+    }
+  }
+  EXPECT_LT(MaxAbsDiff(MatMulAt(a, c), MatMul(at, c)), 1e-12);
+}
+
+TEST(MatrixTest, AddAndScale) {
+  Mat a(1, 3);
+  a.v = {1, 2, 3};
+  Mat b(1, 3);
+  b.v = {10, 20, 30};
+  AddInPlace(a, b);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 33);
+  ScaleInPlace(a, 0.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 5.5);
+}
+
+// ---- MLP kernels: finite-difference gradient check ------------------------------------------
+
+TEST(MlpTest, GradientsMatchFiniteDifferences) {
+  const std::vector<int> dims = {3, 5, 2};
+  MlpParams params = InitMlp(dims, 11);
+  Rng rng(17);
+  Mat x(4, 3), target(4, 2);
+  for (double& v : x.v) {
+    v = rng.NextGaussian();
+  }
+  for (double& v : target.v) {
+    v = rng.NextGaussian();
+  }
+
+  auto loss_of = [&](const MlpParams& p) {
+    Mat h = MlpForwardLayer(p, 0, x, /*relu=*/true);
+    Mat logits = MlpForwardLayer(p, 1, h, /*relu=*/false);
+    double loss = 0.0;
+    MlpLossGrad(logits, target, &loss);
+    return loss;
+  };
+
+  // Analytic gradients.
+  Mat h = MlpForwardLayer(params, 0, x, true);
+  Mat logits = MlpForwardLayer(params, 1, h, false);
+  double loss = 0.0;
+  Mat dy = MlpLossGrad(logits, target, &loss);
+  LayerGrads g1 = MlpBackwardLayer(params, 1, h, logits, dy, false);
+  LayerGrads g0 = MlpBackwardLayer(params, 0, x, h, g1.dx, true);
+
+  const double eps = 1e-6;
+  auto check = [&](Mat& weight, const Mat& grad) {
+    for (int i = 0; i < std::min<int>(6, static_cast<int>(weight.v.size())); ++i) {
+      const double saved = weight.v[static_cast<std::size_t>(i)];
+      weight.v[static_cast<std::size_t>(i)] = saved + eps;
+      const double up = loss_of(params);
+      weight.v[static_cast<std::size_t>(i)] = saved - eps;
+      const double down = loss_of(params);
+      weight.v[static_cast<std::size_t>(i)] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grad.v[static_cast<std::size_t>(i)], numeric, 1e-4);
+    }
+  };
+  check(params.weights[0], g0.dw);
+  check(params.weights[1], g1.dw);
+  check(params.biases[0], g0.db);
+  check(params.biases[1], g1.db);
+}
+
+TEST(MlpTest, MomentumUpdateMatchesManualComputation) {
+  MlpParams params = InitMlp({2, 2}, 5);
+  Mat dw(2, 2);
+  dw.v = {4, 8, 12, 16};
+  Mat db(1, 2);
+  db.v = {2, 4};
+  MlpParams expected = params;
+
+  // Two momentum steps by hand: v1 = g/4; w -= lr*v1; v2 = mu*v1 + g/4; w -= lr*v2.
+  const double lr = 0.1;
+  const double mu = 0.9;
+  MlpApplyUpdate(params, 0, dw, db, lr, /*samples=*/4, mu);
+  MlpApplyUpdate(params, 0, dw, db, lr, /*samples=*/4, mu);
+  for (std::size_t i = 0; i < expected.weights[0].v.size(); ++i) {
+    const double g = dw.v[i] / 4.0;
+    const double v1 = g;
+    const double v2 = mu * v1 + g;
+    expected.weights[0].v[i] -= lr * (v1 + v2);
+  }
+  EXPECT_LT(MaxAbsDiff(params.weights[0], expected.weights[0]), 1e-15);
+}
+
+TEST(MlpTest, MomentumZeroIsPlainSgd) {
+  MlpParams a = InitMlp({3, 2}, 6);
+  MlpParams b = a;
+  Mat dw(2, 3);
+  dw.v = {1, 2, 3, 4, 5, 6};
+  Mat db(1, 2);
+  db.v = {1, 1};
+  MlpApplyUpdate(a, 0, dw, db, 0.1, 2);
+  MlpApplyUpdate(b, 0, dw, db, 0.1, 2, 0.0);
+  EXPECT_DOUBLE_EQ(MaxParamDiff(a, b), 0.0);
+}
+
+TEST(MlpTest, InitIsDeterministicPerSeed) {
+  const std::vector<int> dims = {4, 8, 2};
+  EXPECT_DOUBLE_EQ(MaxParamDiff(InitMlp(dims, 5), InitMlp(dims, 5)), 0.0);
+  EXPECT_GT(MaxParamDiff(InitMlp(dims, 5), InitMlp(dims, 6)), 0.0);
+}
+
+// ---- Reference trainer -----------------------------------------------------------------------
+
+TEST(ReferenceTest, LossDecreasesOverIterations) {
+  const std::vector<int> dims = {6, 12, 3};
+  const DataFn data = SyntheticData(dims, /*microbatch_size=*/4, 99);
+  const ReferenceResult result =
+      TrainReference(dims, 1, data, /*iterations=*/20, /*total_microbatches=*/4, 4, 0.05);
+  ASSERT_EQ(result.losses.size(), 20u);
+  EXPECT_LT(result.losses.back(), result.losses.front() * 0.9);
+}
+
+TEST(ReferenceTest, DataFnIsOrderIndependent) {
+  const std::vector<int> dims = {4, 4, 2};
+  const DataFn data = SyntheticData(dims, 2, 7);
+  Mat x1, y1, x2, y2;
+  data(3, 5, &x1, &y1);
+  data(0, 0, &x2, &y2);  // interleave another request
+  Mat x3, y3;
+  data(3, 5, &x3, &y3);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(x1, x3), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(y1, y3), 0.0);
+}
+
+// ---- Plan replay == sequential reference (the semantics-preservation property) ---------------
+
+struct EquivalenceCase {
+  Scheme scheme;
+  int n_gpus;
+  int microbatches;  // per GPU for DP, total for PP
+  int microbatch_size;
+  int iterations;
+  int pack_size = 1;
+  bool grouping = true;
+  bool jit = true;
+  bool recompute = false;
+  int group_size = 0;  // PP wavefront size; 0 = whole minibatch
+};
+
+// Readable parameterized-test names instead of raw byte dumps.
+void PrintTo(const EquivalenceCase& c, std::ostream* os) {
+  *os << SchemeName(c.scheme) << "_gpus" << c.n_gpus << "_m" << c.microbatches << "_ub"
+      << c.microbatch_size << "_it" << c.iterations << "_pack" << c.pack_size
+      << (c.grouping ? "" : "_nogroup") << (c.jit ? "" : "_nojit")
+      << (c.recompute ? "_recompute" : "") << (c.group_size > 0 ? "_g" : "")
+      << (c.group_size > 0 ? std::to_string(c.group_size) : "");
+}
+
+class SchemeEquivalenceTest : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(SchemeEquivalenceTest, PlanTrajectoryMatchesSequentialReference) {
+  const EquivalenceCase& c = GetParam();
+  const std::vector<int> dims = {6, 10, 8, 4};
+  const Model model = MakeMlp(dims);
+
+  ServerConfig server;
+  server.num_gpus = c.n_gpus;
+  const Machine machine = MakeCommodityServer(server);
+  SessionConfig config;
+  config.server = server;
+  config.scheme = c.scheme;
+  config.microbatches = c.microbatches;
+  config.microbatch_size = c.microbatch_size;
+  config.iterations = c.iterations;
+  config.pack_size = c.pack_size;
+  config.grouping = c.grouping;
+  config.jit_updates = c.jit;
+  config.recompute = c.recompute;
+  config.group_size = c.group_size;
+  TensorRegistry registry;
+  const Plan plan = BuildPlanForConfig(model, machine, &registry, config);
+  ASSERT_TRUE(plan.Validate().ok());
+
+  const bool data_parallel =
+      c.scheme == Scheme::kBaselineDp || c.scheme == Scheme::kHarmonyDp;
+  const int replicas = data_parallel ? c.n_gpus : 1;
+  const int total_microbatches = replicas * c.microbatches;
+
+  const DataFn data = SyntheticData(dims, c.microbatch_size, 4242);
+  PlanExecutorConfig exec_config;
+  exec_config.dims = dims;
+  exec_config.init_seed = 7;
+  exec_config.microbatches_per_replica = c.microbatches;
+  exec_config.lr = 0.1;
+  PlanExecutor executor(&plan, exec_config, data);
+  executor.Run();
+
+  const ReferenceResult reference = TrainReference(
+      dims, 7, data, c.iterations, total_microbatches, c.microbatch_size, 0.1);
+
+  // Weights match the sequential trajectory on every replica (fp accumulation order
+  // differs, hence the tolerance), and per-iteration losses agree.
+  for (int r = 0; r < executor.num_replicas(); ++r) {
+    EXPECT_LT(MaxParamDiff(executor.replica_params(r), reference.params), 1e-9)
+        << "replica " << r;
+  }
+  ASSERT_EQ(executor.losses().size(), reference.losses.size());
+  for (std::size_t i = 0; i < reference.losses.size(); ++i) {
+    EXPECT_NEAR(executor.losses()[i], reference.losses[i],
+                1e-9 * (1.0 + std::fabs(reference.losses[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SchemeEquivalenceTest,
+    ::testing::Values(
+        // Baseline DP: replicas x microbatch accumulation + allreduce.
+        EquivalenceCase{Scheme::kBaselineDp, 1, 1, 2, 2},
+        EquivalenceCase{Scheme::kBaselineDp, 2, 2, 2, 2},
+        EquivalenceCase{Scheme::kBaselineDp, 4, 2, 1, 2},
+        // Harmony DP: grouping + jit must not change the math.
+        EquivalenceCase{Scheme::kHarmonyDp, 2, 3, 2, 2},
+        EquivalenceCase{Scheme::kHarmonyDp, 4, 2, 2, 3},
+        EquivalenceCase{Scheme::kHarmonyDp, 2, 2, 2, 2, 1, /*grouping=*/false, true},
+        EquivalenceCase{Scheme::kHarmonyDp, 2, 2, 2, 2, 1, true, /*jit=*/false},
+        // Baseline PP: 1F1B over contiguous stages.
+        EquivalenceCase{Scheme::kBaselinePp, 2, 4, 2, 2},
+        EquivalenceCase{Scheme::kBaselinePp, 3, 6, 1, 2},
+        // Harmony PP: cyclic layer packs, grouped microbatches, jit updates.
+        EquivalenceCase{Scheme::kHarmonyPp, 2, 4, 2, 2},
+        EquivalenceCase{Scheme::kHarmonyPp, 3, 3, 2, 2},
+        EquivalenceCase{Scheme::kHarmonyPp, 2, 4, 1, 2, /*pack=*/2},
+        EquivalenceCase{Scheme::kHarmonyPp, 2, 2, 2, 2, 1, /*grouping=*/false, true},
+        EquivalenceCase{Scheme::kHarmonyPp, 2, 2, 2, 2, 1, true, /*jit=*/false},
+        EquivalenceCase{Scheme::kHarmonyPp, 2, 4, 2, 2, 1, true, true, /*recompute=*/true},
+        // Partial input-batch groups: wavefronts of 2 and 3 microbatches.
+        EquivalenceCase{Scheme::kHarmonyPp, 2, 6, 1, 2, 1, true, true, false, /*group=*/2},
+        EquivalenceCase{Scheme::kHarmonyPp, 3, 6, 2, 2, 1, true, true, false, /*group=*/3},
+        EquivalenceCase{Scheme::kHarmonyPp, 2, 5, 1, 2, 2, true, true, true, /*group=*/2}));
+
+// Tensor-parallel shards must reproduce the dense math exactly: the masked partials summed
+// by the activation collectives ARE the dense forward/backward (see plan_executor.cc).
+TEST(SchemeEquivalenceTest, TensorParallelTrajectoryMatchesReference) {
+  const std::vector<int> dims = {8, 12, 6, 4};
+  const Model model = MakeMlp(dims);
+  ServerConfig server;
+  server.num_gpus = 4;
+  const Machine machine = MakeCommodityServer(server);
+  SessionConfig config;
+  config.server = server;
+  config.scheme = Scheme::kHarmonyTp;
+  config.microbatches = 3;
+  config.microbatch_size = 2;
+  config.iterations = 3;
+  TensorRegistry registry;
+  const Plan plan = BuildPlanForConfig(model, machine, &registry, config);
+  ASSERT_TRUE(plan.Validate().ok());
+
+  const DataFn data = SyntheticData(dims, 2, 555);
+  PlanExecutorConfig exec_config;
+  exec_config.dims = dims;
+  exec_config.init_seed = 7;
+  exec_config.microbatches_per_replica = 3;
+  exec_config.lr = 0.05;
+  PlanExecutor executor(&plan, exec_config, data);
+  ASSERT_TRUE(executor.tensor_parallel());
+  executor.Run();
+
+  const ReferenceResult reference =
+      TrainReference(dims, 7, data, /*iterations=*/3, /*total_microbatches=*/3, 2, 0.05);
+  const MlpParams assembled = executor.AssembleShardedParams();
+  EXPECT_LT(MaxAbsDiff(assembled.weights[0], reference.params.weights[0]), 1e-10);
+  EXPECT_LT(MaxAbsDiff(assembled.weights[1], reference.params.weights[1]), 1e-10);
+  EXPECT_LT(MaxAbsDiff(assembled.weights[2], reference.params.weights[2]), 1e-10);
+  EXPECT_LT(MaxAbsDiff(assembled.biases[0], reference.params.biases[0]), 1e-10);
+  ASSERT_EQ(executor.losses().size(), reference.losses.size());
+  for (std::size_t i = 0; i < reference.losses.size(); ++i) {
+    EXPECT_NEAR(executor.losses()[i], reference.losses[i], 1e-9);
+  }
+}
+
+TEST(SchemeEquivalenceTest, TensorParallelUngroupedAlsoMatches) {
+  const std::vector<int> dims = {6, 9, 4};
+  const Model model = MakeMlp(dims);
+  ServerConfig server;
+  server.num_gpus = 3;
+  const Machine machine = MakeCommodityServer(server);
+  SessionConfig config;
+  config.server = server;
+  config.scheme = Scheme::kHarmonyTp;
+  config.microbatches = 2;
+  config.microbatch_size = 2;
+  config.iterations = 2;
+  config.grouping = false;
+  config.jit_updates = false;
+  TensorRegistry registry;
+  const Plan plan = BuildPlanForConfig(model, machine, &registry, config);
+
+  const DataFn data = SyntheticData(dims, 2, 777);
+  PlanExecutorConfig exec_config;
+  exec_config.dims = dims;
+  exec_config.init_seed = 4;
+  exec_config.microbatches_per_replica = 2;
+  exec_config.lr = 0.02;
+  PlanExecutor executor(&plan, exec_config, data);
+  executor.Run();
+  const ReferenceResult reference = TrainReference(dims, 4, data, 2, 2, 2, 0.02);
+  EXPECT_LT(MaxAbsDiff(executor.AssembleShardedParams().weights[0],
+                       reference.params.weights[0]),
+            1e-10);
+}
+
+// Momentum (the "K" optimizer state) must survive Harmony's reordering too.
+TEST(SchemeEquivalenceTest, MomentumTrajectoryMatchesReference) {
+  const std::vector<int> dims = {6, 10, 4};
+  const Model model = MakeMlp(dims);
+  ServerConfig server;
+  server.num_gpus = 2;
+  const Machine machine = MakeCommodityServer(server);
+  SessionConfig config;
+  config.server = server;
+  config.scheme = Scheme::kHarmonyPp;
+  config.microbatches = 4;
+  config.microbatch_size = 2;
+  config.iterations = 4;
+  TensorRegistry registry;
+  const Plan plan = BuildPlanForConfig(model, machine, &registry, config);
+
+  const DataFn data = SyntheticData(dims, 2, 99);
+  PlanExecutorConfig exec_config;
+  exec_config.dims = dims;
+  exec_config.init_seed = 7;
+  exec_config.microbatches_per_replica = 4;
+  exec_config.lr = 0.05;
+  exec_config.momentum = 0.9;
+  PlanExecutor executor(&plan, exec_config, data);
+  executor.Run();
+
+  const ReferenceResult reference =
+      TrainReference(dims, 7, data, 4, 4, 2, 0.05, /*momentum=*/0.9);
+  EXPECT_LT(MaxParamDiff(executor.replica_params(0), reference.params), 1e-9);
+}
+
+// Timing engine and numeric replay execute the *same* plan object: run both on one plan to
+// prove the fast path and the semantic path cannot diverge structurally.
+TEST(IntegrationTest, SamePlanDrivesTimingAndNumerics) {
+  const std::vector<int> dims = {4, 6, 2};
+  const Model model = MakeMlp(dims);
+  SessionConfig config;
+  config.server.num_gpus = 2;
+  config.server.gpu = TestGpu(64 * kMiB, TFlops(1.0));
+  config.scheme = Scheme::kHarmonyPp;
+  config.microbatches = 2;
+  config.microbatch_size = 2;
+  config.iterations = 2;
+  const SessionResult result = RunTraining(model, config);
+  EXPECT_GT(result.report.makespan, 0.0);
+
+  PlanExecutorConfig exec_config;
+  exec_config.dims = dims;
+  exec_config.microbatches_per_replica = 2;
+  PlanExecutor executor(&result.plan, exec_config, SyntheticData(dims, 2, 1));
+  executor.Run();
+  EXPECT_EQ(executor.losses().size(), 2u);
+}
+
+}  // namespace
+}  // namespace harmony

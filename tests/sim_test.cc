@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace harmony {
+namespace {
+
+TEST(SimulatorTest, StartsAtZeroAndIdle) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.RunOne());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(5.0, [&] { sim.ScheduleAfter(2.5, [&] { fired_at = sim.now(); }); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      sim.ScheduleAfter(1.0, recurse);
+    }
+  };
+  sim.ScheduleAfter(0.0, recurse);
+  sim.RunUntilIdle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAfter(static_cast<double>(i), [] {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoPastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(5.0, [] {});
+  sim.RunUntilIdle();
+  EXPECT_DEATH(sim.ScheduleAt(1.0, [] {}), "past");
+}
+
+TEST(SimulatorDeathTest, EventBudgetCatchesLivelock) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.ScheduleAfter(0.0, forever); };
+  sim.ScheduleAfter(0.0, forever);
+  EXPECT_DEATH(sim.RunUntilIdle(/*max_events=*/1000), "budget");
+}
+
+TEST(OneShotEventTest, WaitersRunAfterFire) {
+  Simulator sim;
+  OneShotEvent event(&sim);
+  int fired = 0;
+  event.OnFired([&] { ++fired; });
+  event.OnFired([&] { ++fired; });
+  EXPECT_FALSE(event.fired());
+  sim.ScheduleAt(3.0, [&] { event.Fire(); });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(event.fired());
+  EXPECT_DOUBLE_EQ(event.fire_time(), 3.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(OneShotEventTest, LateWaiterStillRuns) {
+  Simulator sim;
+  OneShotEvent event(&sim);
+  sim.ScheduleAt(1.0, [&] { event.Fire(); });
+  sim.RunUntilIdle();
+  int fired = 0;
+  event.OnFired([&] { ++fired; });
+  EXPECT_EQ(fired, 0);  // asynchronous even when already fired
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(OneShotEventDeathTest, DoubleFireAborts) {
+  Simulator sim;
+  OneShotEvent event(&sim);
+  event.Fire();
+  EXPECT_DEATH(event.Fire(), "twice");
+}
+
+TEST(CountdownEventTest, FiresAtZero) {
+  Simulator sim;
+  CountdownEvent countdown(&sim, 3);
+  bool fired = false;
+  countdown.OnFired([&] { fired = true; });
+  countdown.Arrive();
+  countdown.Arrive();
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+  countdown.Arrive();
+  sim.RunUntilIdle();
+  EXPECT_TRUE(fired);
+}
+
+TEST(CountdownEventTest, ZeroCountFiresImmediately) {
+  Simulator sim;
+  CountdownEvent countdown(&sim, 0);
+  EXPECT_TRUE(countdown.fired());
+}
+
+TEST(CountdownEventTest, ExpectAddsArrivals) {
+  Simulator sim;
+  CountdownEvent countdown(&sim, 1);
+  countdown.Expect(2);
+  countdown.Arrive();
+  countdown.Arrive();
+  EXPECT_FALSE(countdown.fired());
+  countdown.Arrive();
+  EXPECT_TRUE(countdown.fired());
+}
+
+TEST(SimulatorPropertyTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim;
+    std::vector<double> times;
+    for (int i = 0; i < 50; ++i) {
+      sim.ScheduleAfter(static_cast<double>((i * 7) % 13),
+                        [&times, &sim] { times.push_back(sim.now()); });
+    }
+    sim.RunUntilIdle();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,177 @@
+// harmony_sim: command-line driver for the Harmony training simulator.
+//
+//   harmony_sim --model=bert-large --scheme=harmony-pp --gpus=4
+//               --microbatches=8 --microbatch_size=5 --pack_size=2 --iterations=3
+//               --trace=/tmp/schedule.json
+//
+// Prints the run report (throughput, per-iteration swap volume by tensor class, per-device
+// accounting) and optionally writes a chrome://tracing timeline.
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/schedule_render.h"
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/runtime/report_io.h"
+#include "src/runtime/trace_export.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace harmony {
+namespace {
+
+StatusOr<Scheme> SchemeByName(const std::string& name) {
+  if (name == "baseline-dp") {
+    return Scheme::kBaselineDp;
+  }
+  if (name == "baseline-pp") {
+    return Scheme::kBaselinePp;
+  }
+  if (name == "harmony-dp") {
+    return Scheme::kHarmonyDp;
+  }
+  if (name == "harmony-pp") {
+    return Scheme::kHarmonyPp;
+  }
+  if (name == "harmony-tp") {
+    return Scheme::kHarmonyTp;
+  }
+  return InvalidArgumentError("unknown scheme '" + name + "'");
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  flags.Define("model", "bert-large",
+              "lenet | alexnet | gnmt | amoebanet | bert-base | bert-large | gpt2-xl | toy")
+      .Define("scheme", "harmony-pp", "baseline-dp | baseline-pp | harmony-dp | harmony-pp | harmony-tp")
+      .Define("gpus", "4", "number of GPUs")
+      .Define("gpu_memory_gib", "11", "per-GPU memory (GiB)")
+      .Define("gpus_per_switch", "4", "GPUs below each PCIe switch")
+      .Define("microbatches", "8", "microbatches per GPU (DP) / total (PP)")
+      .Define("microbatch_size", "5", "samples per microbatch")
+      .Define("iterations", "3", "training iterations to simulate")
+      .Define("pack_size", "2", "layers per pack (Harmony-PP)")
+      .Define("group_size", "0", "microbatches per input-batch group (0 = whole minibatch)")
+      .Define("recompute", "false", "activation recomputation instead of stashing")
+      .Define("prefetch", "true", "double-buffer the next task's working set")
+      .Define("grouping", "true", "input-batch grouping")
+      .Define("jit", "true", "just-in-time weight updates")
+      .Define("p2p", "true", "device-to-device transfers")
+      .Define("lookahead_eviction", "false", "Belady-style scheduler-informed eviction")
+      .Define("timeline", "false", "print the ASCII schedule timeline")
+      .Define("trace", "", "write a chrome://tracing JSON to this path")
+      .Define("csv", "", "write per-iteration metrics CSV to this path")
+      .Define("help", "false", "show this help");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n\n" << flags.Usage(argv[0]);
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+
+  const StatusOr<Model> model = ModelByName(flags.Get("model"));
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 2;
+  }
+  const StatusOr<Scheme> scheme = SchemeByName(flags.Get("scheme"));
+  if (!scheme.ok()) {
+    std::cerr << scheme.status().ToString() << "\n";
+    return 2;
+  }
+
+  SessionConfig config;
+  config.server.num_gpus = flags.GetInt("gpus");
+  config.server.gpus_per_switch = flags.GetInt("gpus_per_switch");
+  config.server.gpu.memory_bytes = static_cast<Bytes>(flags.GetDouble("gpu_memory_gib") *
+                                                      static_cast<double>(kGiB));
+  config.scheme = scheme.value();
+  config.microbatches = flags.GetInt("microbatches");
+  config.microbatch_size = flags.GetInt("microbatch_size");
+  config.iterations = flags.GetInt("iterations");
+  config.pack_size = flags.GetInt("pack_size");
+  config.group_size = flags.GetInt("group_size");
+  config.recompute = flags.GetBool("recompute");
+  config.prefetch = flags.GetBool("prefetch");
+  config.grouping = flags.GetBool("grouping");
+  config.jit_updates = flags.GetBool("jit");
+  config.p2p = flags.GetBool("p2p");
+  config.lookahead_eviction = flags.GetBool("lookahead_eviction");
+  config.record_timeline = flags.GetBool("timeline") || !flags.Get("trace").empty();
+
+  std::cout << model.value().Summary() << "\n";
+  const SessionResult result = RunTraining(model.value(), config);
+  std::cout << result.plan.Stats() << "\n\n";
+  std::cout << result.report.Summary() << "\n\n";
+
+  TablePrinter devices({"device", "busy (s)", "swap-in", "swap-out", "high water",
+                        "peak task WS", "demand"});
+  for (int d = 0; d < result.report.num_devices(); ++d) {
+    devices.Row()
+        .Cell("gpu" + std::to_string(d))
+        .Cell(result.report.device_busy[static_cast<std::size_t>(d)], 2)
+        .Cell(FormatBytes(result.report.device_swap_in[static_cast<std::size_t>(d)]))
+        .Cell(FormatBytes(result.report.device_swap_out[static_cast<std::size_t>(d)]))
+        .Cell(FormatBytes(result.report.device_high_water[static_cast<std::size_t>(d)]))
+        .Cell(FormatBytes(result.peak_task_working_set[static_cast<std::size_t>(d)]))
+        .Cell(FormatBytes(result.memory_demand_per_device[static_cast<std::size_t>(d)]));
+  }
+  devices.Print(std::cout);
+
+  std::cout << "\nper-class swap volume (steady iteration):\n";
+  TablePrinter classes({"tensor class", "swap-in", "swap-out"});
+  const IterationStats& it = result.report.iterations.size() > 1
+                                 ? result.report.iterations[1]
+                                 : result.report.iterations[0];
+  for (int c = 0; c < kNumTensorClasses; ++c) {
+    classes.Row()
+        .Cell(TensorClassName(static_cast<TensorClass>(c)))
+        .Cell(FormatBytes(it.swap_in_by_class[c]))
+        .Cell(FormatBytes(it.swap_out_by_class[c]));
+  }
+  classes.Print(std::cout);
+
+  std::cout << "\nlink usage:\n";
+  TablePrinter links({"link", "bytes", "busy (s)", "utilization"});
+  for (const RunReport::LinkUsage& link : result.report.links) {
+    if (link.bytes == 0) {
+      continue;
+    }
+    links.Row()
+        .Cell(link.name)
+        .Cell(FormatBytes(link.bytes))
+        .Cell(link.busy_time, 2)
+        .Cell(link.utilization, 2);
+  }
+  links.Print(std::cout);
+
+  if (flags.GetBool("timeline")) {
+    std::cout << "\n" << RenderTimeline(result.plan, result.timeline);
+  }
+  if (!flags.Get("csv").empty()) {
+    const Status written = WriteReportCsv(result.report, flags.Get("csv"));
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote per-iteration CSV to " << flags.Get("csv") << "\n";
+  }
+  if (!flags.Get("trace").empty()) {
+    const Status written =
+        WriteChromeTrace(result.plan, result.timeline, flags.Get("trace"));
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote chrome trace to " << flags.Get("trace") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace harmony
+
+int main(int argc, char** argv) { return harmony::Run(argc, argv); }
