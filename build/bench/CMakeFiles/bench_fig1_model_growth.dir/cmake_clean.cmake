@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_model_growth.dir/bench_fig1_model_growth.cpp.o"
+  "CMakeFiles/bench_fig1_model_growth.dir/bench_fig1_model_growth.cpp.o.d"
+  "bench_fig1_model_growth"
+  "bench_fig1_model_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_model_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_dp_swap.dir/bench_fig2a_dp_swap.cpp.o"
+  "CMakeFiles/bench_fig2a_dp_swap.dir/bench_fig2a_dp_swap.cpp.o.d"
+  "bench_fig2a_dp_swap"
+  "bench_fig2a_dp_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_dp_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

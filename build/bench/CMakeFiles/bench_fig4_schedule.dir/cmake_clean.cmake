@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_schedule.dir/bench_fig4_schedule.cpp.o"
+  "CMakeFiles/bench_fig4_schedule.dir/bench_fig4_schedule.cpp.o.d"
+  "bench_fig4_schedule"
+  "bench_fig4_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tango_tuner.dir/bench_tango_tuner.cpp.o"
+  "CMakeFiles/bench_tango_tuner.dir/bench_tango_tuner.cpp.o.d"
+  "bench_tango_tuner"
+  "bench_tango_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tango_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

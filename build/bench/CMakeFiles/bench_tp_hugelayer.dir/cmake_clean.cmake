@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tp_hugelayer.dir/bench_tp_hugelayer.cpp.o"
+  "CMakeFiles/bench_tp_hugelayer.dir/bench_tp_hugelayer.cpp.o.d"
+  "bench_tp_hugelayer"
+  "bench_tp_hugelayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tp_hugelayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

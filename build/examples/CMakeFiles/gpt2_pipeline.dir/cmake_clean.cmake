@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt2_pipeline.dir/gpt2_pipeline.cpp.o"
+  "CMakeFiles/gpt2_pipeline.dir/gpt2_pipeline.cpp.o.d"
+  "gpt2_pipeline"
+  "gpt2_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt2_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_check.dir/semantics_check.cpp.o"
+  "CMakeFiles/semantics_check.dir/semantics_check.cpp.o.d"
+  "semantics_check"
+  "semantics_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_baseline.dir/baseline_dp.cc.o"
+  "CMakeFiles/harmony_baseline.dir/baseline_dp.cc.o.d"
+  "CMakeFiles/harmony_baseline.dir/baseline_pp.cc.o"
+  "CMakeFiles/harmony_baseline.dir/baseline_pp.cc.o.d"
+  "libharmony_baseline.a"
+  "libharmony_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/harmony_dp.cc" "src/core/CMakeFiles/harmony_core.dir/harmony_dp.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/harmony_dp.cc.o.d"
+  "/root/repo/src/core/harmony_pp.cc" "src/core/CMakeFiles/harmony_core.dir/harmony_pp.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/harmony_pp.cc.o.d"
+  "/root/repo/src/core/harmony_tp.cc" "src/core/CMakeFiles/harmony_core.dir/harmony_tp.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/harmony_tp.cc.o.d"
+  "/root/repo/src/core/packer.cc" "src/core/CMakeFiles/harmony_core.dir/packer.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/packer.cc.o.d"
+  "/root/repo/src/core/schedule_render.cc" "src/core/CMakeFiles/harmony_core.dir/schedule_render.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/schedule_render.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/harmony_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/session.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/harmony_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/harmony_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/harmony_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/harmony_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/harmony_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/harmony_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

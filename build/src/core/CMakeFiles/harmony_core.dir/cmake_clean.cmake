@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core.dir/harmony_dp.cc.o"
+  "CMakeFiles/harmony_core.dir/harmony_dp.cc.o.d"
+  "CMakeFiles/harmony_core.dir/harmony_pp.cc.o"
+  "CMakeFiles/harmony_core.dir/harmony_pp.cc.o.d"
+  "CMakeFiles/harmony_core.dir/harmony_tp.cc.o"
+  "CMakeFiles/harmony_core.dir/harmony_tp.cc.o.d"
+  "CMakeFiles/harmony_core.dir/packer.cc.o"
+  "CMakeFiles/harmony_core.dir/packer.cc.o.d"
+  "CMakeFiles/harmony_core.dir/schedule_render.cc.o"
+  "CMakeFiles/harmony_core.dir/schedule_render.cc.o.d"
+  "CMakeFiles/harmony_core.dir/session.cc.o"
+  "CMakeFiles/harmony_core.dir/session.cc.o.d"
+  "CMakeFiles/harmony_core.dir/tuner.cc.o"
+  "CMakeFiles/harmony_core.dir/tuner.cc.o.d"
+  "libharmony_core.a"
+  "libharmony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

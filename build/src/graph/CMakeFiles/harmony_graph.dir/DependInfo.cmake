@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/model.cc" "src/graph/CMakeFiles/harmony_graph.dir/model.cc.o" "gcc" "src/graph/CMakeFiles/harmony_graph.dir/model.cc.o.d"
+  "/root/repo/src/graph/model_zoo.cc" "src/graph/CMakeFiles/harmony_graph.dir/model_zoo.cc.o" "gcc" "src/graph/CMakeFiles/harmony_graph.dir/model_zoo.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/harmony_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/harmony_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/plan_builder.cc" "src/graph/CMakeFiles/harmony_graph.dir/plan_builder.cc.o" "gcc" "src/graph/CMakeFiles/harmony_graph.dir/plan_builder.cc.o.d"
+  "/root/repo/src/graph/task.cc" "src/graph/CMakeFiles/harmony_graph.dir/task.cc.o" "gcc" "src/graph/CMakeFiles/harmony_graph.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/harmony_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/harmony_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

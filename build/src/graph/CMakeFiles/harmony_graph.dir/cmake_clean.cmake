@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_graph.dir/model.cc.o"
+  "CMakeFiles/harmony_graph.dir/model.cc.o.d"
+  "CMakeFiles/harmony_graph.dir/model_zoo.cc.o"
+  "CMakeFiles/harmony_graph.dir/model_zoo.cc.o.d"
+  "CMakeFiles/harmony_graph.dir/partition.cc.o"
+  "CMakeFiles/harmony_graph.dir/partition.cc.o.d"
+  "CMakeFiles/harmony_graph.dir/plan_builder.cc.o"
+  "CMakeFiles/harmony_graph.dir/plan_builder.cc.o.d"
+  "CMakeFiles/harmony_graph.dir/task.cc.o"
+  "CMakeFiles/harmony_graph.dir/task.cc.o.d"
+  "libharmony_graph.a"
+  "libharmony_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

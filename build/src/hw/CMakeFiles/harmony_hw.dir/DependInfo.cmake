@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/topology.cc" "src/hw/CMakeFiles/harmony_hw.dir/topology.cc.o" "gcc" "src/hw/CMakeFiles/harmony_hw.dir/topology.cc.o.d"
+  "/root/repo/src/hw/transfer_manager.cc" "src/hw/CMakeFiles/harmony_hw.dir/transfer_manager.cc.o" "gcc" "src/hw/CMakeFiles/harmony_hw.dir/transfer_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

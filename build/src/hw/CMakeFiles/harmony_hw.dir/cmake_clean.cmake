@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_hw.dir/topology.cc.o"
+  "CMakeFiles/harmony_hw.dir/topology.cc.o.d"
+  "CMakeFiles/harmony_hw.dir/transfer_manager.cc.o"
+  "CMakeFiles/harmony_hw.dir/transfer_manager.cc.o.d"
+  "libharmony_hw.a"
+  "libharmony_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

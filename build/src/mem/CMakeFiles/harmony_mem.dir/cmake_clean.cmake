@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_mem.dir/allocator.cc.o"
+  "CMakeFiles/harmony_mem.dir/allocator.cc.o.d"
+  "CMakeFiles/harmony_mem.dir/memory_manager.cc.o"
+  "CMakeFiles/harmony_mem.dir/memory_manager.cc.o.d"
+  "CMakeFiles/harmony_mem.dir/tensor.cc.o"
+  "CMakeFiles/harmony_mem.dir/tensor.cc.o.d"
+  "libharmony_mem.a"
+  "libharmony_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

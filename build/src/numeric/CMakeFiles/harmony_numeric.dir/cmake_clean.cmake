@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_numeric.dir/matrix.cc.o"
+  "CMakeFiles/harmony_numeric.dir/matrix.cc.o.d"
+  "CMakeFiles/harmony_numeric.dir/mlp.cc.o"
+  "CMakeFiles/harmony_numeric.dir/mlp.cc.o.d"
+  "CMakeFiles/harmony_numeric.dir/plan_executor.cc.o"
+  "CMakeFiles/harmony_numeric.dir/plan_executor.cc.o.d"
+  "CMakeFiles/harmony_numeric.dir/reference.cc.o"
+  "CMakeFiles/harmony_numeric.dir/reference.cc.o.d"
+  "libharmony_numeric.a"
+  "libharmony_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/collective.cc" "src/runtime/CMakeFiles/harmony_runtime.dir/collective.cc.o" "gcc" "src/runtime/CMakeFiles/harmony_runtime.dir/collective.cc.o.d"
+  "/root/repo/src/runtime/demand.cc" "src/runtime/CMakeFiles/harmony_runtime.dir/demand.cc.o" "gcc" "src/runtime/CMakeFiles/harmony_runtime.dir/demand.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/runtime/CMakeFiles/harmony_runtime.dir/engine.cc.o" "gcc" "src/runtime/CMakeFiles/harmony_runtime.dir/engine.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/runtime/CMakeFiles/harmony_runtime.dir/metrics.cc.o" "gcc" "src/runtime/CMakeFiles/harmony_runtime.dir/metrics.cc.o.d"
+  "/root/repo/src/runtime/report_io.cc" "src/runtime/CMakeFiles/harmony_runtime.dir/report_io.cc.o" "gcc" "src/runtime/CMakeFiles/harmony_runtime.dir/report_io.cc.o.d"
+  "/root/repo/src/runtime/trace_export.cc" "src/runtime/CMakeFiles/harmony_runtime.dir/trace_export.cc.o" "gcc" "src/runtime/CMakeFiles/harmony_runtime.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/harmony_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/harmony_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/harmony_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_runtime.dir/collective.cc.o"
+  "CMakeFiles/harmony_runtime.dir/collective.cc.o.d"
+  "CMakeFiles/harmony_runtime.dir/demand.cc.o"
+  "CMakeFiles/harmony_runtime.dir/demand.cc.o.d"
+  "CMakeFiles/harmony_runtime.dir/engine.cc.o"
+  "CMakeFiles/harmony_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/harmony_runtime.dir/metrics.cc.o"
+  "CMakeFiles/harmony_runtime.dir/metrics.cc.o.d"
+  "CMakeFiles/harmony_runtime.dir/report_io.cc.o"
+  "CMakeFiles/harmony_runtime.dir/report_io.cc.o.d"
+  "CMakeFiles/harmony_runtime.dir/trace_export.cc.o"
+  "CMakeFiles/harmony_runtime.dir/trace_export.cc.o.d"
+  "libharmony_runtime.a"
+  "libharmony_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

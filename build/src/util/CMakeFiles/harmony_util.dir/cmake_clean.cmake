@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_util.dir/flags.cc.o"
+  "CMakeFiles/harmony_util.dir/flags.cc.o.d"
+  "CMakeFiles/harmony_util.dir/logging.cc.o"
+  "CMakeFiles/harmony_util.dir/logging.cc.o.d"
+  "CMakeFiles/harmony_util.dir/rng.cc.o"
+  "CMakeFiles/harmony_util.dir/rng.cc.o.d"
+  "CMakeFiles/harmony_util.dir/status.cc.o"
+  "CMakeFiles/harmony_util.dir/status.cc.o.d"
+  "CMakeFiles/harmony_util.dir/table.cc.o"
+  "CMakeFiles/harmony_util.dir/table.cc.o.d"
+  "CMakeFiles/harmony_util.dir/units.cc.o"
+  "CMakeFiles/harmony_util.dir/units.cc.o.d"
+  "libharmony_util.a"
+  "libharmony_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

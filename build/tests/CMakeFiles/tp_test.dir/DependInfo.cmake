@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tp_test.cc" "tests/CMakeFiles/tp_test.dir/tp_test.cc.o" "gcc" "tests/CMakeFiles/tp_test.dir/tp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/harmony_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/harmony_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/harmony_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/harmony_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/harmony_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/harmony_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/harmony_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

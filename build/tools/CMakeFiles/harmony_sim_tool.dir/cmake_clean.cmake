@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_sim_tool.dir/harmony_sim.cc.o"
+  "CMakeFiles/harmony_sim_tool.dir/harmony_sim.cc.o.d"
+  "harmony_sim"
+  "harmony_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
