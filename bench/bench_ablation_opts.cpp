@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "src/core/session.h"
+#include "src/core/tuner.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
@@ -38,8 +39,8 @@ double ClassSwapUnits(const harmony::IterationStats& it, harmony::TensorClass cl
 void ReportBert(harmony::TablePrinter& table, const char* label, const harmony::Model& model,
                 const harmony::SessionConfig& config) {
   using namespace harmony;
-  const SessionResult result = RunTraining(model, config);
-  const auto& it = result.report.iterations[1];
+  const RunReport report = ProfileTraining(model, config);
+  const auto& it = report.iterations[1];
   const double state =
       ClassSwapUnits(it, TensorClass::kWeight, kGB) +
       ClassSwapUnits(it, TensorClass::kWeightGrad, kGB) +
@@ -47,10 +48,10 @@ void ReportBert(harmony::TablePrinter& table, const char* label, const harmony::
   table.Row()
       .Cell(label)
       .Cell(state, 2)
-      .Cell(static_cast<double>(result.report.steady_swap_total()) / kGB, 2)
-      .Cell(static_cast<double>(result.report.steady_p2p()) / kGB, 2)
-      .Cell(result.report.steady_iteration_time(), 2)
-      .Cell(result.report.steady_throughput(), 2);
+      .Cell(static_cast<double>(report.steady_swap_total()) / kGB, 2)
+      .Cell(static_cast<double>(report.steady_p2p()) / kGB, 2)
+      .Cell(report.steady_iteration_time(), 2)
+      .Cell(report.steady_throughput(), 2);
 }
 
 }  // namespace
@@ -119,8 +120,8 @@ int main() {
     config.prefetch = false;
     config.grouping = grouping;
     config.jit_updates = jit;
-    const SessionResult result = RunTraining(uniform, config);
-    const auto& it = result.report.iterations[1];
+    const RunReport report = ProfileTraining(uniform, config);
+    const auto& it = report.iterations[1];
     const double w = ClassSwapUnits(it, TensorClass::kWeight, unit);
     const double g = ClassSwapUnits(it, TensorClass::kWeightGrad, unit);
     const double k = ClassSwapUnits(it, TensorClass::kOptimizerState, unit);
@@ -166,14 +167,14 @@ int main() {
       config.pack_size = 1;
       config.balanced_packing = balanced;
       config.group_size = group;
-      const SessionResult result = RunTraining(skewed, config);
+      const RunReport report = ProfileTraining(skewed, config);
       double max_busy = 0.0;
       double min_busy = 1e30;
-      for (double busy : result.report.device_busy) {
+      for (double busy : report.device_busy) {
         max_busy = std::max(max_busy, busy / 3.0);
         min_busy = std::min(min_busy, busy / 3.0);
       }
-      const double t = result.report.steady_iteration_time();
+      const double t = report.steady_iteration_time();
       (balanced ? best_bal : best_rr) = std::min(balanced ? best_bal : best_rr, t);
       packing.Row()
           .Cell(balanced ? "balanced (packer)" : "round-robin")
@@ -181,7 +182,7 @@ int main() {
           .Cell(t, 3)
           .Cell(max_busy, 3)
           .Cell(max_busy / min_busy, 2)
-          .Cell(ClassSwapUnits(result.report.iterations[1], TensorClass::kWeight,
+          .Cell(ClassSwapUnits(report.iterations[1], TensorClass::kWeight,
                                static_cast<double>(16 * kMiB)),
                 0);
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/session.h"
+#include "src/core/tuner.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
@@ -29,12 +30,11 @@ Outcome RunBest(const char* name, const harmony::Model& model,
   std::vector<Outcome> outcomes;
   outcomes.reserve(candidates.size());
   for (const auto& [suffix, config] : candidates) {
-    const auto peaks = ProbePeakWorkingSet(model, config);
+    const auto peaks = CachedProbePeakWorkingSet(model, config);
     if (*std::max_element(peaks.begin(), peaks.end()) > config.server.gpu.memory_bytes) {
       continue;  // infeasible point
     }
-    const SessionResult result = RunTraining(model, config);
-    outcomes.push_back(Outcome{std::string(name) + suffix, result.report});
+    outcomes.push_back(Outcome{std::string(name) + suffix, ProfileTraining(model, config)});
     if (best == nullptr ||
         outcomes.back().report.steady_throughput() > best->report.steady_throughput()) {
       best = &outcomes.back();
@@ -62,14 +62,14 @@ int main() {
     config.scheme = Scheme::kBaselineDp;
     config.microbatches = 1;
     config.microbatch_size = 8;
-    rows.push_back(Outcome{"baseline-DP (DDP + LMS)", RunTraining(bert, config).report});
+    rows.push_back(Outcome{"baseline-DP (DDP + LMS)", ProfileTraining(bert, config)});
   }
   {  // Stock 1F1B script: 4 stages, 4 microbatches of 8.
     SessionConfig config = base;
     config.scheme = Scheme::kBaselinePp;
     config.microbatches = 4;
     config.microbatch_size = 8;
-    rows.push_back(Outcome{"baseline-PP (1F1B + LMS)", RunTraining(bert, config).report});
+    rows.push_back(Outcome{"baseline-PP (1F1B + LMS)", ProfileTraining(bert, config)});
   }
   {  // Harmony-DP, tuner over microbatch split x recompute.
     std::vector<std::pair<std::string, SessionConfig>> candidates;

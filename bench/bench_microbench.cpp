@@ -3,11 +3,15 @@
 // construction, and a full small training simulation.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/core/session.h"
 #include "src/graph/model_zoo.h"
 #include "src/hw/transfer_manager.h"
 #include "src/mem/allocator.h"
 #include "src/sim/simulator.h"
+#include "src/util/rng.h"
 
 namespace harmony {
 namespace {
@@ -16,6 +20,7 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim;
     const int n = static_cast<int>(state.range(0));
+    sim.Reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       sim.ScheduleAfter(static_cast<double>(i % 97), [] {});
     }
@@ -24,7 +29,7 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_AllocatorChurn(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -71,6 +76,39 @@ void BM_FairShareFlows(benchmark::State& state) {
 }
 BENCHMARK(BM_FairShareFlows)->Arg(16)->Arg(64)->Arg(256);
 
+// Sustained arrival/departure churn with ~1k concurrent flows: random sizes and staggered
+// deterministic arrivals keep the incremental re-rate and completion-heap paths hot, unlike
+// BM_FairShareFlows' single synchronized wave.
+void BM_FlowChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ServerConfig config;
+    config.num_gpus = 8;
+    config.gpus_per_switch = 4;
+    Topology topo = MakeCommodityServerTopology(config);
+    Simulator sim;
+    TransferManager tm(&sim, &topo);
+    Rng rng(0xC0FFEE);
+    for (int f = 0; f < flows; ++f) {
+      const NodeId src = topo.gpu_node(static_cast<int>(rng.NextBounded(8)));
+      const bool to_host = rng.NextBounded(4) != 0;  // mostly swap traffic, some p2p
+      const NodeId dst =
+          to_host ? topo.host_node()
+                  : topo.gpu_node(static_cast<int>(rng.NextBounded(8)));
+      const Bytes bytes = static_cast<Bytes>(1 + rng.NextBounded(16)) * kMiB;
+      const double start = rng.NextDouble(0.0, 0.05);
+      const TransferKind kind = to_host ? TransferKind::kSwapOut : TransferKind::kPeerToPeer;
+      sim.ScheduleAfter(start, [&tm, src, dst, bytes, kind] {
+        tm.StartTransfer(src, dst, bytes, kind);
+      });
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(tm.flows_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowChurn)->Arg(1000);
+
 void BM_PlanConstructionBertLarge(benchmark::State& state) {
   const Model bert = MakeBertLarge();
   const Machine machine = MakeCommodityServer(ServerConfig{});
@@ -105,4 +143,29 @@ BENCHMARK(BM_FullTrainingSimulation);
 }  // namespace
 }  // namespace harmony
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus a default JSON report (BENCH_microbench.json in the working
+// directory) so runs are machine-comparable without remembering the flags. Any explicit
+// --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_microbench.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool user_specified_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      user_specified_out = true;
+    }
+  }
+  if (!user_specified_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,16 +2,28 @@
 // volume against accelerator utilization under a fixed memory capacity and a fixed
 // minibatch. The Performance Tuner sweeps the feasible grid by profiling the simulator and
 // picks the best throughput point; prefetch (double buffering) is the second tango knob.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "src/core/session.h"
 #include "src/core/tuner.h"
 #include "src/graph/model_zoo.h"
+#include "src/util/flags.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace harmony;
+  FlagParser flags;
+  flags.Define("tuner_threads", "0",
+               "worker threads for the tuner sweep (0 = one per hardware thread)");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.ToString() << "\n\n" << flags.Usage(argv[0]);
+    return 2;
+  }
+
   std::cout << "=== Sec. 4: memory-performance tango (Harmony-PP tuner) ===\n\n";
 
   const Model bert = MakeBertLarge();
@@ -25,7 +37,22 @@ int main() {
   options.group_sizes = {0, 2};  // whole-minibatch grouping vs 2-microbatch wavefronts
   options.microbatch_sizes = {1, 2, 4, 8};
   options.minibatch_samples = 32;
+  options.num_threads = flags.GetInt("tuner_threads");
+  const auto sweep_start = std::chrono::steady_clock::now();
   const TunerResult result = TunePp(bert, base, options);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();
+  // Diagnostics go to stderr so the experiment tables on stdout stay byte-stable across
+  // thread counts and hosts.
+  const TunerCacheStats stats = GetTunerCacheStats();
+  std::fprintf(stderr,
+               "[tuner] %zu sweep points on %d threads in %.3fs; cache: %lld/%lld probe "
+               "hits, %lld/%lld profile hits\n",
+               result.points.size(), ResolveThreadCount(options.num_threads), sweep_seconds,
+               static_cast<long long>(stats.probe_hits),
+               static_cast<long long>(stats.probe_hits + stats.probe_misses),
+               static_cast<long long>(stats.profile_hits),
+               static_cast<long long>(stats.profile_hits + stats.profile_misses));
   std::cout << RenderTunerTable(result) << "\n";
   std::printf("tuner pick: pack=%d, microbatch=%d (%d microbatches) -> %.2f samples/s\n\n",
               result.best.pack_size, result.best.microbatch_size, result.best.microbatches,
@@ -40,12 +67,12 @@ int main() {
     config.microbatches = result.best.microbatches;
     config.iterations = 3;
     config.prefetch = on;
-    const SessionResult run = RunTraining(bert, config);
+    const RunReport report = ProfileTraining(bert, config);
     prefetch.Row()
         .Cell(on ? "on (double buffer)" : "off (copies on critical path)")
-        .Cell(run.report.steady_iteration_time(), 2)
-        .Cell(static_cast<double>(run.report.steady_swap_total()) / kGB, 2)
-        .Cell(run.report.steady_throughput(), 2);
+        .Cell(report.steady_iteration_time(), 2)
+        .Cell(static_cast<double>(report.steady_swap_total()) / kGB, 2)
+        .Cell(report.steady_throughput(), 2);
   }
   prefetch.Print(std::cout);
 
@@ -59,19 +86,19 @@ int main() {
     config.microbatches = 4;
     config.iterations = 3;
     config.recompute = rc;
-    const auto peaks = ProbePeakWorkingSet(bert, config);
+    const auto peaks = CachedProbePeakWorkingSet(bert, config);
     const Bytes peak = *std::max_element(peaks.begin(), peaks.end());
     if (peak > base.server.gpu.memory_bytes) {
       recompute.Row().Cell(rc ? "recompute" : "stash").Cell(FormatBytes(peak)).Cell("-").Cell(
           "infeasible");
       continue;
     }
-    const SessionResult run = RunTraining(bert, config);
+    const RunReport report = ProfileTraining(bert, config);
     recompute.Row()
         .Cell(rc ? "recompute" : "stash")
         .Cell(FormatBytes(peak))
-        .Cell(run.report.steady_iteration_time(), 2)
-        .Cell(run.report.steady_throughput(), 2);
+        .Cell(report.steady_iteration_time(), 2)
+        .Cell(report.steady_throughput(), 2);
   }
   recompute.Print(std::cout);
 

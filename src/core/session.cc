@@ -120,6 +120,9 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   TransferManager transfers(&sim, &machine.topology);
   TensorRegistry registry;
   Plan plan = BuildPlanForConfig(model, machine, &registry, config);
+  // Rough hint: each task turns into a handful of simulator events (fetch, compute, swap,
+  // wakeups); pre-sizing the event heap avoids reallocation churn in the steady state.
+  sim.Reserve(plan.tasks.size() * 8 + 1024);
 
   MemoryPolicy policy =
       config.policy.has_value() ? *config.policy : DefaultPolicyFor(config.scheme, config.p2p);

@@ -1,48 +1,182 @@
 #include "src/core/tuner.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
 
 #include "src/util/check.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace harmony {
+namespace {
+
+// Serializes every model and config field that can influence a simulation into a cache key.
+// Plain text rather than a hash: collisions are impossible and keys are debuggable. Key
+// construction costs microseconds against the milliseconds-to-seconds simulation it saves.
+void AppendLinkSpec(std::ostringstream& os, const LinkSpec& link) {
+  os << link.name << ',' << link.bandwidth_bytes_per_sec << ',' << link.latency_sec << ';';
+}
+
+std::string SimulationKey(const Model& model, const SessionConfig& config) {
+  std::ostringstream os;
+  os.precision(17);
+  os << model.name() << '|' << model.input_bytes_per_sample() << '|';
+  for (int l = 0; l < model.num_layers(); ++l) {
+    const LayerCost& c = model.layer(l).cost;
+    os << c.param_bytes << ',' << c.grad_bytes << ',' << c.opt_state_bytes << ','
+       << c.act_out_bytes_per_sample << ',' << c.stash_bytes_per_sample << ','
+       << c.workspace_bytes_per_sample << ',' << c.fwd_flops_per_sample << ','
+       << c.bwd_flops_per_sample << ',' << c.upd_flops << ';';
+  }
+  const ServerConfig& server = config.server;
+  os << '|' << server.num_gpus << ',' << server.gpus_per_switch << ',' << server.p2p_enabled
+     << ',' << server.gpu.name << ',' << server.gpu.memory_bytes << ','
+     << server.gpu.peak_flops << ',' << server.gpu.efficiency << ';';
+  AppendLinkSpec(os, server.gpu_link);
+  AppendLinkSpec(os, server.host_link);
+  os << '|' << static_cast<int>(config.scheme) << ',' << config.microbatches << ','
+     << config.microbatch_size << ',' << config.iterations << ',' << config.pack_size << ','
+     << config.grouping << ',' << config.group_size << ',' << config.jit_updates << ','
+     << config.p2p << ',' << config.balanced_packing << ',' << config.recompute << ','
+     << config.lookahead_eviction << ',' << config.prefetch;
+  if (config.policy.has_value()) {
+    os << "|policy:" << config.policy->write_back_clean << ',' << config.policy->allow_p2p
+       << ',' << static_cast<int>(config.policy->eviction);
+  }
+  return os.str();
+}
+
+struct TunerCache {
+  std::mutex mu;
+  std::map<std::string, std::vector<Bytes>> probes;
+  std::map<std::string, RunReport> profiles;
+  TunerCacheStats stats;
+};
+
+TunerCache& Cache() {
+  static TunerCache* cache = new TunerCache();
+  return *cache;
+}
+
+}  // namespace
+
+std::vector<Bytes> CachedProbePeakWorkingSet(const Model& model, const SessionConfig& config,
+                                             bool memoize) {
+  if (!memoize) {
+    return ProbePeakWorkingSet(model, config);
+  }
+  TunerCache& cache = Cache();
+  const std::string key = SimulationKey(model, config);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.probes.find(key);
+    if (it != cache.probes.end()) {
+      ++cache.stats.probe_hits;
+      return it->second;
+    }
+    ++cache.stats.probe_misses;
+  }
+  // Computed outside the lock so concurrent sweep points never serialize on the cache; a
+  // racing duplicate computes the same deterministic value and the insert is idempotent.
+  std::vector<Bytes> peaks = ProbePeakWorkingSet(model, config);
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.probes.emplace(key, peaks);
+  return peaks;
+}
+
+RunReport ProfileTraining(const Model& model, const SessionConfig& config, bool memoize) {
+  if (!memoize) {
+    return RunTraining(model, config).report;
+  }
+  TunerCache& cache = Cache();
+  const std::string key = SimulationKey(model, config);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.profiles.find(key);
+    if (it != cache.profiles.end()) {
+      ++cache.stats.profile_hits;
+      return it->second;
+    }
+    ++cache.stats.profile_misses;
+  }
+  RunReport report = RunTraining(model, config).report;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.profiles.emplace(key, report);
+  return report;
+}
+
+TunerCacheStats GetTunerCacheStats() {
+  TunerCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.stats;
+}
+
+void ClearTunerCache() {
+  TunerCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.probes.clear();
+  cache.profiles.clear();
+  cache.stats = TunerCacheStats{};
+}
 
 TunerResult TunePp(const Model& model, const SessionConfig& base, const TunerOptions& options) {
-  TunerResult result;
   const Bytes capacity = base.server.gpu.memory_bytes;
 
+  // Phase 1: enumerate the whole candidate frontier up front (cheap), so profiling becomes
+  // an index-addressed batch that can run in any order.
+  struct Candidate {
+    TunerPoint point;
+    SessionConfig config;
+  };
+  std::vector<Candidate> candidates;
   for (int pack : options.pack_sizes) {
     for (int group : options.group_sizes) {
-    for (int mbs : options.microbatch_sizes) {
-      if (options.minibatch_samples % mbs != 0) {
-        continue;  // keep the minibatch (SGD semantics) identical across the sweep
-      }
-      TunerPoint point;
-      point.pack_size = pack;
-      point.group_size = group;
-      point.microbatch_size = mbs;
-      point.microbatches = options.minibatch_samples / mbs;
+      for (int mbs : options.microbatch_sizes) {
+        if (options.minibatch_samples % mbs != 0) {
+          continue;  // keep the minibatch (SGD semantics) identical across the sweep
+        }
+        Candidate candidate;
+        candidate.point.pack_size = pack;
+        candidate.point.group_size = group;
+        candidate.point.microbatch_size = mbs;
+        candidate.point.microbatches = options.minibatch_samples / mbs;
 
-      SessionConfig config = base;
-      config.scheme = Scheme::kHarmonyPp;
-      config.pack_size = pack;
-      config.group_size = group;
-      config.microbatch_size = mbs;
-      config.microbatches = point.microbatches;
-      config.iterations = options.iterations;
-
-      const std::vector<Bytes> peaks = ProbePeakWorkingSet(model, config);
-      point.peak_working_set = *std::max_element(peaks.begin(), peaks.end());
-      point.feasible = point.peak_working_set <= capacity;
-      if (point.feasible) {
-        const SessionResult run = RunTraining(model, config);
-        point.iteration_time = run.report.steady_iteration_time();
-        point.throughput = run.report.steady_throughput();
-        point.swap_volume = run.report.steady_swap_total();
+        candidate.config = base;
+        candidate.config.scheme = Scheme::kHarmonyPp;
+        candidate.config.pack_size = pack;
+        candidate.config.group_size = group;
+        candidate.config.microbatch_size = mbs;
+        candidate.config.microbatches = candidate.point.microbatches;
+        candidate.config.iterations = options.iterations;
+        candidates.push_back(std::move(candidate));
       }
-      result.points.push_back(point);
     }
+  }
+
+  // Phase 2: probe + profile every point across the pool. Each point is written back to its
+  // own slot, so the assembled vector matches the serial sweep order bit-for-bit.
+  ThreadPool pool(ResolveThreadCount(options.num_threads));
+  ParallelFor(pool, candidates.size(), [&](std::size_t i) {
+    Candidate& candidate = candidates[i];
+    TunerPoint& point = candidate.point;
+    const std::vector<Bytes> peaks =
+        CachedProbePeakWorkingSet(model, candidate.config, options.memoize);
+    point.peak_working_set = *std::max_element(peaks.begin(), peaks.end());
+    point.feasible = point.peak_working_set <= capacity;
+    if (point.feasible) {
+      const RunReport report = ProfileTraining(model, candidate.config, options.memoize);
+      point.iteration_time = report.steady_iteration_time();
+      point.throughput = report.steady_throughput();
+      point.swap_volume = report.steady_swap_total();
     }
+  });
+
+  TunerResult result;
+  result.points.reserve(candidates.size());
+  for (Candidate& candidate : candidates) {
+    result.points.push_back(candidate.point);
   }
 
   const TunerPoint* best = nullptr;

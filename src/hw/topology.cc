@@ -44,6 +44,16 @@ void Topology::AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec) {
 void Topology::Finalize() {
   HCHECK(!finalized_);
   HCHECK_NE(host_node_, kInvalidNode) << "topology needs a host node";
+  // Catch bad link specs here with a clear message rather than deep inside the flow model,
+  // where a zero bandwidth would only surface as an opaque rate-check failure mid-run.
+  for (const TopologyLink& l : links_) {
+    HCHECK_GT(l.spec.bandwidth_bytes_per_sec, 0.0)
+        << "link '" << l.spec.name << "' (" << node(l.src).name << " -> " << node(l.dst).name
+        << ") must have positive bandwidth";
+    HCHECK_GE(l.spec.latency_sec, 0.0)
+        << "link '" << l.spec.name << "' (" << node(l.src).name << " -> " << node(l.dst).name
+        << ") must have non-negative latency";
+  }
   const int n = num_nodes();
   routes_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {});
 

@@ -1,7 +1,9 @@
 #include "src/hw/transfer_manager.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "src/util/check.h"
 
@@ -38,6 +40,7 @@ TransferManager::TransferManager(Simulator* sim, const Topology* topology)
   HCHECK(topology != nullptr);
   HCHECK(topology->finalized());
   link_active_.assign(static_cast<std::size_t>(topology->num_links()), 0);
+  link_flows_.assign(static_cast<std::size_t>(topology->num_links()), {});
   link_stats_.assign(static_cast<std::size_t>(topology->num_links()), LinkStats{});
 }
 
@@ -70,17 +73,19 @@ OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes
 
   // The flow joins the network after its route latency; that keeps latency out of the
   // bandwidth-sharing math while still delaying short transfers realistically.
-  sim_->ScheduleAfter(latency, [this, id, route, bytes, kind, done] {
+  sim_->ScheduleAfter(latency, [this, id, route, bytes, kind, done]() mutable {
     AdvanceToNow();
     Flow flow;
     flow.id = id;
-    flow.route = route;
+    flow.route = std::move(route);
     flow.bytes_remaining = static_cast<double>(bytes);
     flow.bytes_total = bytes;
     flow.kind = kind;
     flow.done = done;
-    flows_.emplace(id, std::move(flow));
-    RecomputeRates();
+    Flow& attached = AttachFlow(std::move(flow));
+    dirty_scratch_.assign(attached.route.begin(), attached.route.end());
+    ReRateFlowsOnLinks(&dirty_scratch_);
+    ScheduleNextCompletion();
   });
   return done;
 }
@@ -110,39 +115,197 @@ void TransferManager::AdvanceToNow() {
   }
 }
 
-void TransferManager::RecomputeRates() {
-  CompleteFinishedFlows();
+TransferManager::Flow& TransferManager::AttachFlow(Flow flow) {
+  const std::int64_t id = flow.id;
+  const auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  HCHECK(inserted);
+  Flow& attached = it->second;  // stable address: unordered_map never moves elements
+  for (LinkId lid : attached.route) {
+    ++link_active_[static_cast<std::size_t>(lid)];
+    link_flows_[static_cast<std::size_t>(lid)].push_back(&attached);
+  }
+  return attached;
+}
 
-  std::fill(link_active_.begin(), link_active_.end(), 0);
-  for (const auto& [id, flow] : flows_) {
-    for (LinkId lid : flow.route) {
-      ++link_active_[static_cast<std::size_t>(lid)];
+void TransferManager::DetachFlow(Flow& flow, std::vector<LinkId>* dirty_links) {
+  for (LinkId lid : flow.route) {
+    const auto slot = static_cast<std::size_t>(lid);
+    --link_active_[slot];
+    HCHECK_GE(link_active_[slot], 0);
+    std::vector<Flow*>& on_link = link_flows_[slot];
+    const auto it = std::find(on_link.begin(), on_link.end(), &flow);
+    HCHECK(it != on_link.end());
+    *it = on_link.back();  // order within a link list is irrelevant to the model
+    on_link.pop_back();
+    dirty_links->push_back(lid);
+  }
+  HeapRemove(flow);
+}
+
+double TransferManager::ComputeRate(const Flow& flow) const {
+  double rate = std::numeric_limits<double>::infinity();
+  for (LinkId lid : flow.route) {
+    const double share = topology_->link(lid).spec.bandwidth_bytes_per_sec /
+                         static_cast<double>(link_active_[static_cast<std::size_t>(lid)]);
+    rate = std::min(rate, share);
+  }
+  return rate;
+}
+
+// ---- indexed completion heap ------------------------------------------------------------
+// A hand-rolled binary min-heap whose entries carry a pointer to their flow; every placement
+// writes the flow's heap_index back, so a flow's entry can be re-keyed or removed in place.
+
+void TransferManager::HeapSiftUp(std::size_t i) {
+  Completion item = completion_heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!CompletionBefore(item, completion_heap_[parent])) {
+      break;
+    }
+    completion_heap_[i] = completion_heap_[parent];
+    completion_heap_[i].flow->heap_index = i;
+    i = parent;
+  }
+  completion_heap_[i] = item;
+  item.flow->heap_index = i;
+}
+
+void TransferManager::HeapSiftDown(std::size_t i) {
+  const std::size_t n = completion_heap_.size();
+  Completion item = completion_heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) {
+      break;
+    }
+    const std::size_t right = child + 1;
+    if (right < n && CompletionBefore(completion_heap_[right], completion_heap_[child])) {
+      child = right;
+    }
+    if (!CompletionBefore(completion_heap_[child], item)) {
+      break;
+    }
+    completion_heap_[i] = completion_heap_[child];
+    completion_heap_[i].flow->heap_index = i;
+    i = child;
+  }
+  completion_heap_[i] = item;
+  item.flow->heap_index = i;
+}
+
+void TransferManager::HeapPush(Flow& flow) {
+  completion_heap_.push_back(Completion{flow.completion_time, &flow});
+  flow.heap_index = completion_heap_.size() - 1;
+  HeapSiftUp(flow.heap_index);
+}
+
+void TransferManager::HeapUpdate(Flow& flow) {
+  const std::size_t i = flow.heap_index;
+  HCHECK_LT(i, completion_heap_.size());
+  completion_heap_[i].when = flow.completion_time;
+  HeapSiftUp(i);
+  if (flow.heap_index == i) {
+    HeapSiftDown(i);
+  }
+}
+
+void TransferManager::HeapRemove(Flow& flow) {
+  const std::size_t i = flow.heap_index;
+  HCHECK_LT(i, completion_heap_.size());
+  const std::size_t last = completion_heap_.size() - 1;
+  if (i != last) {
+    completion_heap_[i] = completion_heap_[last];
+    completion_heap_[i].flow->heap_index = i;
+  }
+  completion_heap_.pop_back();
+  flow.heap_index = kNoHeapIndex;
+  if (i < completion_heap_.size()) {
+    Flow* moved = completion_heap_[i].flow;
+    HeapSiftUp(i);
+    if (moved->heap_index == i) {  // did not move up; may need to go down
+      HeapSiftDown(i);
     }
   }
-  for (auto& [id, flow] : flows_) {
-    double rate = std::numeric_limits<double>::infinity();
-    for (LinkId lid : flow.route) {
-      const double share = topology_->link(lid).spec.bandwidth_bytes_per_sec /
-                           static_cast<double>(link_active_[static_cast<std::size_t>(lid)]);
-      rate = std::min(rate, share);
-    }
-    flow.rate = rate;
+}
+
+void TransferManager::ReRateFlowsOnLinks(std::vector<LinkId>* dirty_links) {
+  if (dirty_links->empty()) {
+    return;
   }
-  ScheduleNextCompletion();
+  // A completion dirties every link on its route; dedupe links (tiny vector), then dedupe
+  // flows reached via several dirty links with a visit stamp instead of sorting ids.
+  std::sort(dirty_links->begin(), dirty_links->end());
+  dirty_links->erase(std::unique(dirty_links->begin(), dirty_links->end()),
+                     dirty_links->end());
+  ++rerate_mark_;
+  const SimTime now = sim_->now();
+
+  // Strategy: when a change touches most of the heap (the paper's shared-uplink regime,
+  // where one oversubscribed link carries every flow), k individual re-keys cost O(k log k)
+  // sifts. Rewriting the keys in place and re-heapifying once (Floyd, O(k)) matches the old
+  // full-rebuild's linear cost there, while sparse changes keep the O(log) in-place re-key.
+  std::size_t touched_bound = 0;
+  for (LinkId lid : *dirty_links) {
+    touched_bound += link_flows_[static_cast<std::size_t>(lid)].size();
+  }
+  const bool bulk =
+      completion_heap_.size() >= 16 && 2 * touched_bound >= completion_heap_.size();
+
+  for (LinkId lid : *dirty_links) {
+    // Only flows crossing a dirty link can see a changed active count; everyone else's rate
+    // is a pure function of unchanged counts and stays bit-identical without a recompute.
+    for (Flow* flow : link_flows_[static_cast<std::size_t>(lid)]) {
+      if (flow->rerate_mark == rerate_mark_) {
+        continue;
+      }
+      flow->rerate_mark = rerate_mark_;
+      const double rate = ComputeRate(*flow);
+      if (rate == flow->rate) {
+        // Same share as before (bottlenecked on an untouched link): the projected
+        // completion time is still valid and the heap entry stays where it is.
+        continue;
+      }
+      flow->rate = rate;
+      flow->completion_time = now + flow->bytes_remaining / rate;
+      if (bulk) {
+        if (flow->heap_index == kNoHeapIndex) {
+          completion_heap_.push_back(Completion{flow->completion_time, flow});
+          flow->heap_index = completion_heap_.size() - 1;  // provisional; reindexed below
+        } else {
+          completion_heap_[flow->heap_index].when = flow->completion_time;
+        }
+      } else if (flow->heap_index == kNoHeapIndex) {
+        HeapPush(*flow);
+      } else {
+        HeapUpdate(*flow);
+      }
+    }
+  }
+
+  if (bulk) {
+    // comp(a, b) = "a after b" makes std::make_heap's max-at-root a min-heap under
+    // CompletionBefore, i.e. exactly the invariant the hand sifts maintain.
+    std::make_heap(completion_heap_.begin(), completion_heap_.end(),
+                   [](const Completion& a, const Completion& b) {
+                     return CompletionBefore(b, a);
+                   });
+    for (std::size_t i = 0; i < completion_heap_.size(); ++i) {
+      completion_heap_[i].flow->heap_index = i;
+    }
+  }
 }
 
 void TransferManager::ScheduleNextCompletion() {
   ++wakeup_generation_;
-  if (flows_.empty()) {
+  if (completion_heap_.empty()) {
+    HCHECK(flows_.empty()) << "active flows but no completion entry";
     return;
   }
-  double next = std::numeric_limits<double>::infinity();
-  for (const auto& [id, flow] : flows_) {
-    HCHECK_GT(flow.rate, 0.0);
-    next = std::min(next, flow.bytes_remaining / flow.rate);
-  }
+  // A projection rated at an earlier change point can sit an ulp before now; clamp.
+  const SimTime when = std::max(completion_heap_.front().when, sim_->now());
   const std::uint64_t generation = wakeup_generation_;
-  sim_->ScheduleAfter(next, [this, generation] { OnWakeup(generation); });
+  sim_->ScheduleAt(when, [this, generation] { OnWakeup(generation); });
 }
 
 void TransferManager::OnWakeup(std::uint64_t generation) {
@@ -150,22 +313,106 @@ void TransferManager::OnWakeup(std::uint64_t generation) {
     return;  // a newer recompute superseded this wakeup
   }
   AdvanceToNow();
-  RecomputeRates();
+
+  const SimTime now = sim_->now();
+  dirty_scratch_.clear();
+  while (!completion_heap_.empty() && completion_heap_.front().when <= now) {
+    Flow& flow = *completion_heap_.front().flow;
+    if (flow.bytes_remaining > kByteEpsilon) {
+      // FP residue left the flow a hair short of done; re-key to the corrected projection.
+      flow.completion_time = now + flow.bytes_remaining / flow.rate;
+      HeapUpdate(flow);
+      if (completion_heap_.front().flow == &flow) {
+        break;  // correction did not advance past now; retry from the rescheduled wakeup
+      }
+      continue;
+    }
+    for (LinkId lid : flow.route) {
+      link_stats_[static_cast<std::size_t>(lid)].bytes_carried += flow.bytes_total;
+    }
+    DetachFlow(flow, &dirty_scratch_);
+    ++flows_completed_;
+    OneShotEvent* done = flow.done;
+    const std::int64_t id = flow.id;
+    done->Fire();
+    flows_.erase(id);
+  }
+  ReRateFlowsOnLinks(&dirty_scratch_);
+  ScheduleNextCompletion();
 }
 
-void TransferManager::CompleteFinishedFlows() {
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.bytes_remaining <= kByteEpsilon) {
-      for (LinkId lid : it->second.route) {
-        link_stats_[static_cast<std::size_t>(lid)].bytes_carried += it->second.bytes_total;
-      }
-      ++flows_completed_;
-      it->second.done->Fire();
-      it = flows_.erase(it);
-    } else {
-      ++it;
+std::string TransferManager::DebugCheckConsistency() const {
+  std::ostringstream os;
+  // From-scratch link counts and flow lists.
+  std::vector<int> want_active(link_active_.size(), 0);
+  std::vector<std::vector<std::int64_t>> want_flows(link_flows_.size());
+  for (const auto& [id, flow] : flows_) {
+    for (LinkId lid : flow.route) {
+      ++want_active[static_cast<std::size_t>(lid)];
+      want_flows[static_cast<std::size_t>(lid)].push_back(id);
     }
   }
+  for (std::size_t lid = 0; lid < link_active_.size(); ++lid) {
+    if (link_active_[lid] != want_active[lid]) {
+      os << "link " << lid << ": incremental active count " << link_active_[lid]
+         << " != from-scratch " << want_active[lid];
+      return os.str();
+    }
+    std::vector<std::int64_t> have;
+    have.reserve(link_flows_[lid].size());
+    for (const Flow* flow : link_flows_[lid]) {
+      have.push_back(flow->id);
+    }
+    std::sort(have.begin(), have.end());
+    std::sort(want_flows[lid].begin(), want_flows[lid].end());
+    if (have != want_flows[lid]) {
+      os << "link " << lid << ": flow list diverged from from-scratch rebuild";
+      return os.str();
+    }
+  }
+  // From-scratch rates: pure function of the (verified) counts, so they must match bitwise.
+  for (const auto& [id, flow] : flows_) {
+    const double want_rate = ComputeRate(flow);
+    if (flow.rate != want_rate) {
+      os << "flow " << id << ": incremental rate " << flow.rate << " != from-scratch "
+         << want_rate;
+      return os.str();
+    }
+    // Completion projections are stamped at the flow's last rate change; algebra says they
+    // equal last_advance_ + remaining/rate (bytes_remaining is integrated only up to
+    // last_advance_, not to now()), FP says only to round-off.
+    const double want_completion = last_advance_ + flow.bytes_remaining / flow.rate;
+    const double tolerance = 1e-6 * (1.0 + std::abs(want_completion));
+    if (std::abs(flow.completion_time - want_completion) > tolerance) {
+      os << "flow " << id << ": completion time " << flow.completion_time
+         << " drifted from projection " << want_completion;
+      return os.str();
+    }
+  }
+  // Indexed-heap invariants: one entry per flow, back-pointers and keys agree, heap order.
+  if (completion_heap_.size() != flows_.size()) {
+    os << "completion heap has " << completion_heap_.size() << " entries for "
+       << flows_.size() << " flows";
+    return os.str();
+  }
+  for (const auto& [id, flow] : flows_) {
+    if (flow.heap_index >= completion_heap_.size() ||
+        completion_heap_[flow.heap_index].flow != &flow) {
+      os << "flow " << id << ": heap_index back-pointer is broken";
+      return os.str();
+    }
+    if (completion_heap_[flow.heap_index].when != flow.completion_time) {
+      os << "flow " << id << ": heap key != flow completion_time";
+      return os.str();
+    }
+  }
+  for (std::size_t i = 1; i < completion_heap_.size(); ++i) {
+    if (CompletionBefore(completion_heap_[i], completion_heap_[(i - 1) / 2])) {
+      os << "completion heap order violated at index " << i;
+      return os.str();
+    }
+  }
+  return std::string();
 }
 
 }  // namespace harmony

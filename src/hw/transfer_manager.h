@@ -6,14 +6,27 @@
 // allocation. Rates are recomputed whenever a flow starts or finishes, so contention on the
 // shared switch-to-host uplink (the paper's Fig. 2(a)/(b) bottleneck) emerges naturally.
 //
+// The implementation is *incremental*: per-link active-flow counts and per-link flow lists
+// are maintained on every arrival/departure instead of being rebuilt from scratch, and only
+// flows whose routes share a dirty link are re-rated (a flow's rate is a pure function of
+// its links' counts, so untouched flows keep their rate bit-for-bit). The next completion
+// comes from an indexed min-heap of projected completion times — each flow owns exactly one
+// entry, re-keyed in place on re-rate, so peeking the next completion is O(1) and no stale
+// entries ever accumulate. (A lazy heap with generation-tagged entries was tried first;
+// profiling showed the dead entries it sheds on every re-rate dominating the hot path in
+// the shared-uplink regime, where every arrival re-rates every flow.) Scheduled wakeups are
+// generation-tagged and invalidated by any later re-rate. No O(flows x links) scan per
+// event anywhere.
+//
 // The manager also keeps byte/busy-time accounting per link and per transfer kind, which the
 // benches read back as "swap volume" and "link utilization".
 #ifndef HARMONY_SRC_HW_TRANSFER_MANAGER_H_
 #define HARMONY_SRC_HW_TRANSFER_MANAGER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/hw/topology.h"
@@ -63,39 +76,95 @@ class TransferManager {
 
   const Topology& topology() const { return *topology_; }
 
+  // Test hook: rebuilds link counts, link flow lists and per-flow rates from scratch and
+  // diffs them against the incrementally maintained state, then validates the completion
+  // heap (one entry per flow, index back-pointers, heap order). Returns an empty string
+  // when consistent, else a human-readable description of the first divergence. Counts and
+  // rates must match exactly (rates are pure functions of integer counts); projected
+  // completion times may drift by FP round-off and are checked to a relative tolerance.
+  std::string DebugCheckConsistency() const;
+
  private:
+  static constexpr std::size_t kNoHeapIndex = static_cast<std::size_t>(-1);
+
   struct Flow {
     std::int64_t id = 0;
     std::vector<LinkId> route;
     double bytes_remaining = 0.0;
     Bytes bytes_total = 0;
     double rate = 0.0;  // bytes/sec under the current allocation
+    // Absolute sim time at which the flow drains at `rate` (stamped at the last re-rate).
+    SimTime completion_time = 0.0;
+    // Visit stamp for the current re-rate pass; dedupes flows reached via several dirty
+    // links without sorting an id list.
+    std::uint64_t rerate_mark = 0;
+    // Position of this flow's entry in completion_heap_ (kNoHeapIndex before first rating).
+    std::size_t heap_index = kNoHeapIndex;
     TransferKind kind = TransferKind::kOther;
     OneShotEvent* done = nullptr;
   };
+
+  // Indexed-heap entry. `flow` stays valid while the flow is active: unordered_map never
+  // moves its elements.
+  struct Completion {
+    SimTime when = 0.0;
+    Flow* flow = nullptr;
+  };
+
+  // Min order. Ties break on flow id so simultaneous completions pop — and therefore fire —
+  // in flow creation order, matching the old full scan's deterministic order.
+  static bool CompletionBefore(const Completion& a, const Completion& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    return a.flow->id < b.flow->id;
+  }
 
   // Integrates all active flows (and per-link busy time) forward to sim_->now() using the
   // rates computed at the previous change point. Must run before the flow set changes.
   void AdvanceToNow();
 
-  // Recomputes per-link active counts and per-flow rates, then schedules the next
-  // completion wakeup.
-  void RecomputeRates();
+  // Inserts the flow into the per-link indices (its heap entry appears at first re-rate).
+  Flow& AttachFlow(Flow flow);
+  // Removes the flow from the per-link indices and its heap entry, appending its route to
+  // `dirty_links`.
+  void DetachFlow(Flow& flow, std::vector<LinkId>* dirty_links);
+
+  // Re-rates exactly the flows that cross any link in `dirty_links` and re-keys their heap
+  // entries in place. Flows whose recomputed share is unchanged (bottlenecked on an
+  // untouched link) keep their projection without touching the heap.
+  void ReRateFlowsOnLinks(std::vector<LinkId>* dirty_links);
+  double ComputeRate(const Flow& flow) const;
+
+  // Indexed-heap primitives over completion_heap_; every placement writes the flow's
+  // heap_index back-pointer.
+  void HeapSiftUp(std::size_t i);
+  void HeapSiftDown(std::size_t i);
+  void HeapPush(Flow& flow);
+  void HeapUpdate(Flow& flow);  // re-key after completion_time changed
+  void HeapRemove(Flow& flow);
+
+  // Peeks the heap root and schedules the wakeup for the next projected completion.
   void ScheduleNextCompletion();
   void OnWakeup(std::uint64_t generation);
-  void CompleteFinishedFlows();
 
   Simulator* sim_;
   const Topology* topology_;
 
   std::int64_t next_flow_id_ = 0;
-  std::map<std::int64_t, Flow> flows_;  // ordered -> deterministic iteration
+  // Unordered is safe: no code depends on iteration order (completion order comes from the
+  // heap comparator, rates are pure functions of counts), and lookups are on the hot path.
+  std::unordered_map<std::int64_t, Flow> flows_;
   std::vector<std::unique_ptr<OneShotEvent>> events_;  // owns completion events
 
-  std::vector<int> link_active_;  // active flow count per link (valid since last recompute)
+  std::vector<int> link_active_;  // active flow count per link (maintained incrementally)
+  std::vector<std::vector<Flow*>> link_flows_;  // flows crossing each link
+  std::vector<Completion> completion_heap_;     // indexed min-heap, one entry per flow
   std::vector<LinkStats> link_stats_;
   SimTime last_advance_ = 0.0;
   std::uint64_t wakeup_generation_ = 0;
+  std::uint64_t rerate_mark_ = 0;
+  std::vector<LinkId> dirty_scratch_;  // reused per wakeup to avoid per-event allocation
 
   Bytes bytes_by_kind_[kNumTransferKinds] = {};
   std::int64_t flows_completed_ = 0;

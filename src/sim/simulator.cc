@@ -6,12 +6,49 @@ namespace harmony {
 
 void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   HCHECK_GE(when, now_) << "cannot schedule into the past";
-  queue_.push(Entry{when, next_seq_++, std::move(fn)});
+  heap_.push_back(Entry{when, next_seq_++, std::move(fn)});
+  SiftUp(heap_.size() - 1);
 }
 
 void Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
   HCHECK_GE(delay, 0.0);
   ScheduleAt(now_ + delay, std::move(fn));
+}
+
+// Both sifts shift a "hole" through the heap and place the displaced entry once at the end —
+// one closure move per level, where a std::swap-based sift would cost three.
+void Simulator::SiftUp(std::size_t i) {
+  Entry item = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Earlier(item, heap_[parent])) {
+      break;
+    }
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(item);
+}
+
+void Simulator::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry item = std::move(heap_[i]);
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) {
+      break;
+    }
+    const std::size_t right = child + 1;
+    if (right < n && Earlier(heap_[right], heap_[child])) {
+      child = right;
+    }
+    if (!Earlier(heap_[child], item)) {
+      break;
+    }
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(item);
 }
 
 SimTime Simulator::RunUntilIdle(std::uint64_t max_events) {
@@ -24,13 +61,17 @@ SimTime Simulator::RunUntilIdle(std::uint64_t max_events) {
 }
 
 bool Simulator::RunOne() {
-  if (queue_.empty()) {
+  if (heap_.empty()) {
     return false;
   }
-  // priority_queue::top returns const&; move out via const_cast is the standard idiom but we
-  // copy the function instead to keep this simple and safe (events are small closures).
-  Entry entry = queue_.top();
-  queue_.pop();
+  Entry entry = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+  }
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
   now_ = entry.when;
   ++events_processed_;
   entry.fn();

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/util/check.h"
@@ -30,6 +29,9 @@ class Simulator {
   SimTime now() const { return now_; }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // Capacity hint: pre-sizes the event heap so steady-state scheduling never reallocates.
+  void Reserve(std::size_t events) { heap_.reserve(events); }
+
   // Schedules `fn` to run at absolute time `when` (must be >= now()).
   void ScheduleAt(SimTime when, std::function<void()> fn);
 
@@ -43,7 +45,7 @@ class Simulator {
   // Runs exactly one event if available; returns false when the queue is empty.
   bool RunOne();
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return heap_.empty(); }
 
  private:
   struct Entry {
@@ -51,19 +53,26 @@ class Simulator {
     std::uint64_t seq;
     std::function<void()> fn;
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+
+  // (when, seq) is a total order over entries, so the pop sequence is independent of the
+  // heap's internal layout — determinism does not rest on implementation details.
+  static bool Earlier(const Entry& a, const Entry& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
     }
-  };
+    return a.seq < b.seq;
+  }
+
+  // Hand-rolled binary min-heap over a vector so entries (and their closures) are *moved*
+  // during sift operations; std::priority_queue::top() returns const& and forced a copy of
+  // every event closure on pop.
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::vector<Entry> heap_;
 };
 
 // One-shot waitable event. Waiters registered before the fire run (in registration order) as

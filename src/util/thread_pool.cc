@@ -1,0 +1,62 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace harmony {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+int ResolveThreadCount(int requested) {
+  if (requested >= 1) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.Submit([&fn, i] { fn(i); }));
+  }
+  for (std::future<void>& future : futures) {
+    future.get();
+  }
+}
+
+}  // namespace harmony

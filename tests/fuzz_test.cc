@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 
 #include "src/core/session.h"
 #include "src/graph/model_zoo.h"
+#include "src/hw/transfer_manager.h"
 #include "src/numeric/plan_executor.h"
 #include "src/numeric/reference.h"
 #include "src/util/rng.h"
@@ -147,6 +149,62 @@ TEST_P(RandomNumericTest, TrajectoryMatchesReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomNumericTest, ::testing::Range(0, 24));
+
+// Property test for the incremental flow model: drive a TransferManager through randomized
+// arrival/departure churn and, at interleaved probe times, check its incrementally
+// maintained state (per-link active counts, per-link flow lists, flow rates, completion
+// heap) against a from-scratch recomputation. DebugCheckConsistency returns an empty
+// string when everything matches and a description of the first divergence otherwise.
+class RandomFlowChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFlowChurnTest, IncrementalStateMatchesFromScratchRebuild) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+
+  ServerConfig server;
+  server.num_gpus = 2 + static_cast<int>(rng.NextBounded(7));  // 2..8 GPUs
+  server.gpus_per_switch = 2 + static_cast<int>(rng.NextBounded(3));
+  Topology topo = MakeCommodityServerTopology(server);
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+
+  const auto gpu = [&](std::uint64_t bound) {
+    return topo.gpu_node(static_cast<int>(rng.NextBounded(bound)));
+  };
+  const int n = server.num_gpus;
+  const int transfers = 40 + static_cast<int>(rng.NextBounded(160));
+  int real_flows = 0;  // same-node and zero-byte transfers short-circuit past the flow model
+  int completions_observed = 0;
+  for (int t = 0; t < transfers; ++t) {
+    const NodeId src = gpu(static_cast<std::uint64_t>(n));
+    const bool to_host = rng.NextBounded(3) != 0;  // mostly swap traffic, some p2p
+    const NodeId dst = to_host ? topo.host_node() : gpu(static_cast<std::uint64_t>(n));
+    const Bytes bytes = static_cast<Bytes>(rng.NextBounded(24)) * kMiB;  // zero-byte legal
+    const TransferKind kind = to_host ? TransferKind::kSwapOut : TransferKind::kPeerToPeer;
+    const double start = rng.NextDouble(0.0, 0.2);
+    if (src != dst && bytes > 0) {
+      ++real_flows;
+    }
+    sim.ScheduleAfter(start, [&tm, &completions_observed, src, dst, bytes, kind] {
+      tm.StartTransfer(src, dst, bytes, kind)
+          ->OnFired([&completions_observed] { ++completions_observed; });
+    });
+  }
+  // Probes land throughout the churn window, including between the events a completion or
+  // arrival schedules — exactly where a stale heap entry or count would hide.
+  for (int probe = 0; probe < 64; ++probe) {
+    sim.ScheduleAfter(rng.NextDouble(0.0, 0.4), [&tm] {
+      EXPECT_EQ(tm.DebugCheckConsistency(), "");
+    });
+  }
+  sim.RunUntilIdle();
+
+  EXPECT_EQ(tm.DebugCheckConsistency(), "");
+  EXPECT_EQ(tm.num_active_flows(), 0);
+  EXPECT_EQ(tm.flows_completed(), real_flows);
+  EXPECT_EQ(completions_observed, transfers);  // every done event fires, flow or not
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlowChurnTest, ::testing::Range(0, 30));
 
 }  // namespace
 }  // namespace harmony

@@ -65,6 +65,22 @@ TEST(TopologyTest, DescribeRoutesMentionsEveryGpu) {
   }
 }
 
+TEST(TopologyTest, FinalizeRejectsZeroBandwidthLink) {
+  Topology topo;
+  const NodeId host = topo.AddNode(NodeKind::kHost, "host");
+  const NodeId gpu = topo.AddNode(NodeKind::kGpu, "gpu0");
+  topo.AddDuplexLink(host, gpu, LinkSpec{"broken", 0.0, 1e-6});
+  EXPECT_DEATH(topo.Finalize(), "must have positive bandwidth");
+}
+
+TEST(TopologyTest, FinalizeRejectsNegativeLatencyLink) {
+  Topology topo;
+  const NodeId host = topo.AddNode(NodeKind::kHost, "host");
+  const NodeId gpu = topo.AddNode(NodeKind::kGpu, "gpu0");
+  topo.AddDuplexLink(host, gpu, LinkSpec{"broken", GBps(10.0), -1e-6});
+  EXPECT_DEATH(topo.Finalize(), "must have non-negative latency");
+}
+
 TEST(TopologyTest, MachineCarriesGpuSpecs) {
   const Machine machine = MakeCommodityServer(FourGpuServer());
   EXPECT_EQ(machine.num_gpus(), 4);

@@ -11,6 +11,7 @@
 
 #include "src/core/schedule_render.h"
 #include "src/core/session.h"
+#include "src/core/tuner.h"
 #include "src/graph/model_zoo.h"
 #include "src/runtime/report_io.h"
 #include "src/runtime/trace_export.h"
@@ -58,6 +59,11 @@ int Run(int argc, char** argv) {
       .Define("jit", "true", "just-in-time weight updates")
       .Define("p2p", "true", "device-to-device transfers")
       .Define("lookahead_eviction", "false", "Belady-style scheduler-informed eviction")
+      .Define("tune", "false",
+              "run the Performance Tuner sweep (pack x group x microbatch) instead of a "
+              "single training run")
+      .Define("tuner_threads", "0",
+              "worker threads for the tuner sweep (0 = one per hardware thread)")
       .Define("timeline", "false", "print the ASCII schedule timeline")
       .Define("trace", "", "write a chrome://tracing JSON to this path")
       .Define("csv", "", "write per-iteration metrics CSV to this path")
@@ -101,6 +107,23 @@ int Run(int argc, char** argv) {
   config.p2p = flags.GetBool("p2p");
   config.lookahead_eviction = flags.GetBool("lookahead_eviction");
   config.record_timeline = flags.GetBool("timeline") || !flags.Get("trace").empty();
+
+  if (flags.GetBool("tune")) {
+    // Tuner mode: sweep the memory-performance tango knobs around the requested config and
+    // report the profiled frontier instead of running one fixed schedule.
+    TunerOptions options;
+    options.minibatch_samples = flags.GetInt("microbatches") * flags.GetInt("microbatch_size");
+    options.iterations = flags.GetInt("iterations");
+    options.num_threads = flags.GetInt("tuner_threads");
+    std::cout << model.value().Summary() << "\n";
+    const TunerResult tuned = TunePp(model.value(), config, options);
+    std::cout << RenderTunerTable(tuned) << "\n";
+    std::printf("tuner pick: pack=%d, group=%d, microbatch=%d (%d microbatches) -> %.2f "
+                "samples/s\n",
+                tuned.best.pack_size, tuned.best.group_size, tuned.best.microbatch_size,
+                tuned.best.microbatches, tuned.best.throughput);
+    return 0;
+  }
 
   std::cout << model.value().Summary() << "\n";
   const SessionResult result = RunTraining(model.value(), config);
