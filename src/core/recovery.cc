@@ -1,0 +1,176 @@
+#include "src/core/recovery.h"
+
+#include <numeric>
+#include <utility>
+
+#include "src/mem/tensor.h"
+
+namespace harmony {
+namespace {
+
+bool IsDataParallel(Scheme scheme) {
+  return scheme == Scheme::kBaselineDp || scheme == Scheme::kHarmonyDp;
+}
+
+bool TargetsGpu(const FaultEvent& event) {
+  return event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade;
+}
+
+}  // namespace
+
+std::string ElasticResult::FaultTrace() const {
+  std::string out;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    out += "--- segment " + std::to_string(i) + " ---\n";
+    out += segments[i].result.fault_trace;
+  }
+  return out;
+}
+
+FaultPlan ShiftFaultPlan(const FaultPlan& plan, double offset, const std::vector<bool>& dead,
+                         const std::vector<int>& alive) {
+  std::vector<int> local(dead.size(), -1);
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    local[static_cast<std::size_t>(alive[i])] = static_cast<int>(i);
+  }
+  FaultPlan shifted;
+  for (FaultEvent event : plan.events()) {
+    if (TargetsGpu(event) && dead[static_cast<std::size_t>(event.gpu)]) {
+      continue;  // the target died in an earlier segment; its links no longer exist
+    }
+    const double local_time = event.time - offset;
+    if (event.kind == FaultKind::kGpuFailStop) {
+      if (local_time < 0.0) {
+        continue;  // already struck
+      }
+      event.time = local_time;
+    } else if (local_time < 0.0) {
+      // A degradation that began before the segment boundary: still in force if permanent
+      // or if its window extends past the boundary — re-apply at local 0 for the remainder.
+      if (event.duration == 0.0) {
+        event.time = 0.0;
+      } else if (event.time + event.duration > offset) {
+        event.duration = event.time + event.duration - offset;
+        event.time = 0.0;
+      } else {
+        continue;  // expired before the segment started
+      }
+    } else {
+      event.time = local_time;
+    }
+    if (TargetsGpu(event)) {
+      event.gpu = local[static_cast<std::size_t>(event.gpu)];
+    }
+    shifted.Add(event);
+  }
+  return shifted;
+}
+
+ElasticResult RunTrainingElastic(const Model& model, const SessionConfig& config) {
+  ElasticResult result;
+  const int total_gpus = config.server.num_gpus;
+  const bool data_parallel = IsDataParallel(config.scheme);
+  // DP configs give microbatches per GPU; the minibatch (hence SGD semantics) must survive
+  // the shrink, so carry the total and re-divide per segment.
+  const int total_microbatches =
+      data_parallel ? config.microbatches * total_gpus : config.microbatches;
+
+  std::vector<int> alive(static_cast<std::size_t>(total_gpus));
+  std::iota(alive.begin(), alive.end(), 0);
+  std::vector<bool> dead(static_cast<std::size_t>(total_gpus), false);
+  double offset = 0.0;     // global sim time consumed by earlier segments
+  int next_iteration = 0;  // first global iteration the next segment must run
+
+  for (;;) {
+    if (alive.empty()) {
+      result.status = FailedPreconditionError(
+          "every GPU has fail-stopped; no surviving device to rebind onto");
+      return result;
+    }
+
+    RecoverySegment segment;
+    segment.start_iteration = next_iteration;
+    segment.iterations = config.iterations - next_iteration;
+    segment.gpus = alive;
+    segment.config = config;
+    segment.config.server.num_gpus = static_cast<int>(alive.size());
+    segment.config.iterations = segment.iterations;
+    if (data_parallel) {
+      if (total_microbatches % static_cast<int>(alive.size()) != 0) {
+        result.status = FailedPreconditionError(
+            "cannot shrink data parallelism to " + std::to_string(alive.size()) +
+            " GPUs: the minibatch of " + std::to_string(total_microbatches) +
+            " microbatches does not divide evenly — SGD semantics would change");
+        return result;
+      }
+      segment.config.microbatches = total_microbatches / static_cast<int>(alive.size());
+    }
+    segment.config.faults = ShiftFaultPlan(config.faults, offset, dead, alive);
+
+    if (!result.segments.empty()) {
+      // Rebinding onto fewer devices concentrates layers/replicas; re-check feasibility
+      // instead of letting RunTraining die on a working-set HCHECK.
+      const Status feasible = ValidateSessionConfig(model, segment.config);
+      if (!feasible.ok()) {
+        result.status = FailedPreconditionError(
+            "surviving configuration on " + std::to_string(alive.size()) +
+            " GPUs is infeasible: " + feasible.message());
+        return result;
+      }
+    }
+
+    segment.result = RunTraining(model, segment.config);
+    const RunReport& report = segment.result.report;
+    result.total_makespan += report.makespan;
+    result.checkpoints_committed += report.checkpoints_committed;
+    result.checkpoint_bytes += report.checkpoint_bytes;
+    const int segment_completed = static_cast<int>(report.iterations.size());
+    const bool all_done = segment_completed == segment.iterations;
+    const int last_checkpoint = report.last_checkpoint_iteration;
+    const bool failed = report.failed;
+    const std::string failure_kind = report.failure_kind;
+    const int failed_local = report.failed_device;
+    const double failure_time = report.failure_time;
+    const double checkpoint_time = last_checkpoint >= 0 ? report.last_checkpoint_time : 0.0;
+    const double makespan = report.makespan;
+    result.segments.push_back(std::move(segment));
+
+    if (all_done || !failed) {
+      result.completed_iterations = next_iteration + segment_completed;
+      result.status = Status::Ok();
+      break;
+    }
+    if (failure_kind != "gpu-fail-stop") {
+      result.completed_iterations = next_iteration + segment_completed;
+      result.status = FailedPreconditionError(
+          "schedule stalled (watchdog) at sim time " + std::to_string(failure_time) +
+          " — rebinding cannot fix a livelocked configuration");
+      return result;
+    }
+
+    // Roll back to the last committed checkpoint and rebind onto the survivors.
+    ++result.stats.failures;
+    result.stats.lost_work_sec += failure_time - checkpoint_time;
+    result.stats.recovery_latency_sec += makespan - failure_time;
+    const int dead_original = alive.at(static_cast<std::size_t>(failed_local));
+    dead[static_cast<std::size_t>(dead_original)] = true;
+    alive.erase(alive.begin() + failed_local);
+    next_iteration += last_checkpoint + 1;  // -1 (no checkpoint) restarts the segment
+    offset += makespan;
+  }
+
+  // Checkpoint fan-out cost: weights + optimizer state the survivors had to re-stage in
+  // each recovery segment's first iteration.
+  for (std::size_t i = 1; i < result.segments.size(); ++i) {
+    const RunReport& report = result.segments[i].result.report;
+    if (!report.iterations.empty()) {
+      const IterationStats& first = report.iterations.front();
+      result.stats.reswap_bytes +=
+          first.swap_in_by_class[static_cast<int>(TensorClass::kWeight)] +
+          first.swap_in_by_class[static_cast<int>(TensorClass::kOptimizerState)];
+    }
+  }
+  return result;
+}
+
+}  // namespace harmony

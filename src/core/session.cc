@@ -5,11 +5,14 @@
 #include "src/core/harmony_dp.h"
 #include "src/core/harmony_pp.h"
 #include "src/core/harmony_tp.h"
+#include "src/graph/plan_builder.h"
+#include "src/hw/fault_injector.h"
 #include "src/hw/transfer_manager.h"
 #include "src/runtime/collective.h"
 #include "src/runtime/demand.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
+#include "src/util/units.h"
 
 namespace harmony {
 
@@ -114,6 +117,64 @@ std::vector<Bytes> ProbePeakWorkingSet(const Model& model, const SessionConfig& 
   return plan.PeakTaskWorkingSet(registry);
 }
 
+Status ValidateSessionConfig(const Model& model, const SessionConfig& config) {
+  if (model.num_layers() < 1) {
+    return InvalidArgumentError("model has no layers — need at least one");
+  }
+  if (config.server.num_gpus < 1) {
+    return InvalidArgumentError("num_gpus must be >= 1, got " +
+                                std::to_string(config.server.num_gpus));
+  }
+  if (config.server.gpus_per_switch < 1) {
+    return InvalidArgumentError("gpus_per_switch must be >= 1, got " +
+                                std::to_string(config.server.gpus_per_switch));
+  }
+  const bool data_parallel =
+      config.scheme == Scheme::kBaselineDp || config.scheme == Scheme::kHarmonyDp;
+  DecomposerOptions decomposer;
+  decomposer.num_replicas = data_parallel ? config.server.num_gpus : 1;
+  decomposer.microbatches = config.microbatches;
+  decomposer.microbatch_size = config.microbatch_size;
+  decomposer.iterations = config.iterations;
+  HARMONY_RETURN_IF_ERROR(ValidateDecomposerOptions(config.server.num_gpus, decomposer));
+  if (config.pack_size < 1) {
+    return InvalidArgumentError("pack_size must be >= 1, got " +
+                                std::to_string(config.pack_size));
+  }
+  if (config.group_size < 0) {
+    return InvalidArgumentError("group_size must be >= 0 (0 = whole minibatch), got " +
+                                std::to_string(config.group_size));
+  }
+  if (config.checkpoint_every < 0) {
+    return InvalidArgumentError("checkpoint_every must be >= 0 (0 = never), got " +
+                                std::to_string(config.checkpoint_every));
+  }
+  if (config.watchdog_timeout < 0.0) {
+    return InvalidArgumentError("watchdog_timeout must be >= 0 (0 = off)");
+  }
+  for (const FaultEvent& event : config.faults.events()) {
+    const bool targets_gpu =
+        event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade;
+    if (targets_gpu && event.gpu >= config.server.num_gpus) {
+      return InvalidArgumentError("fault event '" + event.ToString() + "' targets gpu" +
+                                  std::to_string(event.gpu) + " but the machine has only " +
+                                  std::to_string(config.server.num_gpus) + " GPUs");
+    }
+  }
+  // Shape is sane; now probe the decomposition for per-task memory fit.
+  const std::vector<Bytes> peaks = ProbePeakWorkingSet(model, config);
+  for (std::size_t d = 0; d < peaks.size(); ++d) {
+    const Bytes capacity = config.server.gpu.memory_bytes;
+    if (peaks[d] > capacity) {
+      return InvalidArgumentError(
+          "infeasible configuration: a single task's working set (" + FormatBytes(peaks[d]) +
+          ") exceeds gpu" + std::to_string(d) + " memory (" + FormatBytes(capacity) +
+          ") — shrink microbatch_size or pack_size");
+    }
+  }
+  return Status::Ok();
+}
+
 SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   Machine machine = MakeCommodityServer(config.server);
   Simulator sim;
@@ -152,9 +213,26 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   EngineOptions engine_options;
   engine_options.prefetch = config.prefetch;
   engine_options.record_timeline = config.record_timeline;
+  engine_options.checkpoint_every = config.checkpoint_every;
+  engine_options.watchdog_timeout = config.watchdog_timeout;
+  engine_options.fault_mode = !config.faults.empty();
   Engine engine(&sim, &machine, &memory, &transfers, &collective, &plan, engine_options);
+
+  // The injector is only constructed when faults are armed, so the failure-free path runs
+  // the exact historical event sequence.
+  std::optional<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(&sim, &transfers);
+    injector->SetDeviceFailHandler(
+        [&engine](int gpu, SimTime when) { engine.NotifyDeviceFailed(gpu, when); });
+    injector->Arm(config.faults);
+  }
+
   result.report = engine.Run();
   result.timeline = engine.timeline();
+  if (injector.has_value()) {
+    result.fault_trace = injector->TraceString();
+  }
   result.plan = std::move(plan);
   return result;
 }

@@ -15,6 +15,8 @@
 #include "src/mem/memory_manager.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/metrics.h"
+#include "src/sim/fault_plan.h"
+#include "src/util/status.h"
 
 namespace harmony {
 
@@ -55,6 +57,11 @@ struct SessionConfig {
   bool prefetch = true;
   bool record_timeline = false;
 
+  // ---- fault tolerance (defaults keep the failure-free path byte-identical) ----
+  FaultPlan faults;               // injected hardware anomalies; empty = none
+  int checkpoint_every = 0;       // host-checkpoint weights every k iterations (0 = never)
+  double watchdog_timeout = 0.0;  // flag a stalled schedule after this much sim time (0 = off)
+
   // Overrides the scheme-derived memory policy when set (ablations).
   std::optional<MemoryPolicy> policy;
 };
@@ -65,10 +72,19 @@ struct SessionResult {
   std::vector<TaskTrace> timeline;             // non-empty iff record_timeline
   std::vector<Bytes> peak_task_working_set;    // per device
   std::vector<Bytes> memory_demand_per_device; // sum of live-tensor peak, see Fig. 2(c)
+  std::string fault_trace;                     // applied-fault log (empty without faults)
 };
 
+// Validates user-reachable configuration (everything the harmony_sim flags can set) with
+// actionable messages instead of crashing: positive workload shape, scheme constraints,
+// fault-spec targets within the machine, and single-task working-set fit.
+Status ValidateSessionConfig(const Model& model, const SessionConfig& config);
+
 // Builds and runs one training session. Fatal on infeasible configurations (a single task's
-// working set exceeding device memory) with a diagnostic message.
+// working set exceeding device memory) with a diagnostic message — run
+// ValidateSessionConfig first to get a Status instead. With `config.faults` armed the run
+// does not crash on failure: the report comes back with `failed` set (see
+// RunTrainingElastic in core/recovery.h for the resume-on-survivors path).
 SessionResult RunTraining(const Model& model, const SessionConfig& config);
 
 // Convenience: the memory policy a scheme runs under by default.

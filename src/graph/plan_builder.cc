@@ -6,14 +6,39 @@
 
 namespace harmony {
 
+Status ValidateDecomposerOptions(int num_devices, const DecomposerOptions& options) {
+  if (num_devices < 1) {
+    return InvalidArgumentError("num_devices must be >= 1, got " +
+                                std::to_string(num_devices));
+  }
+  if (options.num_replicas < 1) {
+    return InvalidArgumentError("num_replicas must be >= 1, got " +
+                                std::to_string(options.num_replicas));
+  }
+  if (options.microbatches < 1) {
+    return InvalidArgumentError("microbatches must be >= 1, got " +
+                                std::to_string(options.microbatches));
+  }
+  if (options.microbatch_size < 1) {
+    return InvalidArgumentError("microbatch_size must be >= 1, got " +
+                                std::to_string(options.microbatch_size));
+  }
+  if (options.iterations < 1) {
+    return InvalidArgumentError("iterations must be >= 1, got " +
+                                std::to_string(options.iterations));
+  }
+  if (options.weight_shards < 1) {
+    return InvalidArgumentError("weight_shards must be >= 1, got " +
+                                std::to_string(options.weight_shards));
+  }
+  return Status::Ok();
+}
+
 PlanBuilder::PlanBuilder(const Model* model, TensorRegistry* registry, int num_devices,
                          DecomposerOptions options)
     : model_(model), registry_(registry), options_(options) {
-  HCHECK_GT(num_devices, 0);
-  HCHECK_GT(options.num_replicas, 0);
-  HCHECK_GT(options.microbatches, 0);
-  HCHECK_GT(options.microbatch_size, 0);
-  HCHECK_GT(options.iterations, 0);
+  const Status valid = ValidateDecomposerOptions(num_devices, options);
+  HCHECK(valid.ok()) << valid.ToString();
   plan_.per_device_order.resize(static_cast<std::size_t>(num_devices));
   plan_.num_iterations = options.iterations;
   plan_.microbatch_size = options.microbatch_size;

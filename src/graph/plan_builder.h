@@ -27,6 +27,7 @@
 #include "src/graph/model.h"
 #include "src/graph/task.h"
 #include "src/mem/tensor.h"
+#include "src/util/status.h"
 
 namespace harmony {
 
@@ -46,6 +47,12 @@ struct DecomposerOptions {
   // activations stay full-size per shard (row-parallel partials reduced by collectives).
   int weight_shards = 1;
 };
+
+// Validates user-reachable decomposition parameters with actionable messages. The
+// PlanBuilder constructor still enforces the same conditions fatally (internal-invariant
+// style); front ends route configuration through this first so a bad flag value surfaces
+// as a Status, not a crash.
+Status ValidateDecomposerOptions(int num_devices, const DecomposerOptions& options);
 
 class PlanBuilder {
  public:

@@ -30,6 +30,8 @@ const char* TransferKindName(TransferKind kind) {
       return "input";
     case TransferKind::kOther:
       return "other";
+    case TransferKind::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }
@@ -40,6 +42,8 @@ TransferManager::TransferManager(Simulator* sim, const Topology* topology)
   HCHECK(topology != nullptr);
   HCHECK(topology->finalized());
   link_active_.assign(static_cast<std::size_t>(topology->num_links()), 0);
+  link_scale_.assign(static_cast<std::size_t>(topology->num_links()), 1.0);
+  node_dead_.assign(static_cast<std::size_t>(topology->num_nodes()), false);
   link_flows_.assign(static_cast<std::size_t>(topology->num_links()), {});
   link_stats_.assign(static_cast<std::size_t>(topology->num_links()), LinkStats{});
 }
@@ -49,6 +53,15 @@ OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes
   HCHECK_GE(bytes, 0);
   events_.push_back(std::make_unique<OneShotEvent>(sim_));
   OneShotEvent* done = events_.back().get();
+
+  if (NodeFailed(src) || NodeFailed(dst)) {
+    // Typed failure instead of a crash: the event fires now, flagged aborted, and the
+    // caller decides what a dead endpoint means for it.
+    aborted_events_.insert(done);
+    ++flows_aborted_;
+    sim_->ScheduleAfter(0.0, [done] { done->Fire(); });
+    return done;
+  }
 
   if (src == dst || bytes == 0) {
     double latency = 0.0;
@@ -73,7 +86,14 @@ OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes
 
   // The flow joins the network after its route latency; that keeps latency out of the
   // bandwidth-sharing math while still delaying short transfers realistically.
-  sim_->ScheduleAfter(latency, [this, id, route, bytes, kind, done]() mutable {
+  sim_->ScheduleAfter(latency, [this, id, src, dst, route, bytes, kind, done]() mutable {
+    if (NodeFailed(src) || NodeFailed(dst)) {
+      // An endpoint died while the transfer was still in its latency window.
+      aborted_events_.insert(done);
+      ++flows_aborted_;
+      done->Fire();
+      return;
+    }
     AdvanceToNow();
     Flow flow;
     flow.id = id;
@@ -145,11 +165,66 @@ void TransferManager::DetachFlow(Flow& flow, std::vector<LinkId>* dirty_links) {
 double TransferManager::ComputeRate(const Flow& flow) const {
   double rate = std::numeric_limits<double>::infinity();
   for (LinkId lid : flow.route) {
-    const double share = topology_->link(lid).spec.bandwidth_bytes_per_sec /
-                         static_cast<double>(link_active_[static_cast<std::size_t>(lid)]);
+    const auto slot = static_cast<std::size_t>(lid);
+    const double share = topology_->link(lid).spec.bandwidth_bytes_per_sec *
+                         link_scale_[slot] / static_cast<double>(link_active_[slot]);
     rate = std::min(rate, share);
   }
   return rate;
+}
+
+void TransferManager::SetLinkBandwidthScale(LinkId link, double scale) {
+  HCHECK_GE(link, 0);
+  HCHECK_LT(static_cast<std::size_t>(link), link_scale_.size());
+  HCHECK_GT(scale, 0.0) << "use FailNode for dead links, not a zero scale";
+  const auto slot = static_cast<std::size_t>(link);
+  if (link_scale_[slot] == scale) {
+    return;
+  }
+  // A capacity change is a change point exactly like an arrival: integrate the old rates
+  // forward, then re-rate every flow crossing the link and re-key its projection.
+  AdvanceToNow();
+  link_scale_[slot] = scale;
+  dirty_scratch_.assign(1, link);
+  ReRateFlowsOnLinks(&dirty_scratch_);
+  ScheduleNextCompletion();
+}
+
+void TransferManager::FailNode(NodeId node) {
+  HCHECK_GE(node, 0);
+  HCHECK_LT(static_cast<std::size_t>(node), node_dead_.size());
+  if (node_dead_[static_cast<std::size_t>(node)]) {
+    return;
+  }
+  AdvanceToNow();
+  node_dead_[static_cast<std::size_t>(node)] = true;
+
+  // Every flow whose route crosses one of the node's links has a dead endpoint or a dead
+  // forwarder; abort them all. Collect ids first — DetachFlow mutates the per-link lists.
+  std::vector<std::int64_t> doomed;
+  for (LinkId lid = 0; lid < topology_->num_links(); ++lid) {
+    const TopologyLink& link = topology_->link(lid);
+    if (link.src != node && link.dst != node) {
+      continue;
+    }
+    for (const Flow* flow : link_flows_[static_cast<std::size_t>(lid)]) {
+      doomed.push_back(flow->id);
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+
+  dirty_scratch_.clear();
+  for (std::int64_t id : doomed) {
+    Flow& flow = flows_.at(id);
+    DetachFlow(flow, &dirty_scratch_);
+    ++flows_aborted_;
+    aborted_events_.insert(flow.done);
+    flow.done->Fire();
+    flows_.erase(id);
+  }
+  ReRateFlowsOnLinks(&dirty_scratch_);
+  ScheduleNextCompletion();
 }
 
 // ---- indexed completion heap ------------------------------------------------------------

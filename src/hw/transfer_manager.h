@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/hw/topology.h"
@@ -42,8 +43,9 @@ enum class TransferKind : int {
   kCollective = 3,  // allreduce chunks
   kInput = 4,       // training-data ingest
   kOther = 5,
+  kCheckpoint = 6,  // periodic weight checkpoints to host (fault recovery)
 };
-inline constexpr int kNumTransferKinds = 6;
+inline constexpr int kNumTransferKinds = 7;
 
 const char* TransferKindName(TransferKind kind);
 
@@ -61,7 +63,34 @@ class TransferManager {
   // Starts a transfer of `bytes` from `src` to `dst`; the returned event (owned by the
   // manager) fires at completion. src == dst or bytes == 0 completes after route latency
   // only. The event pointer stays valid for the manager's lifetime.
+  //
+  // A transfer touching a failed node does not crash: its event fires immediately and
+  // WasAborted(event) reports the failure, so callers can branch on a typed outcome.
   OneShotEvent* StartTransfer(NodeId src, NodeId dst, Bytes bytes, TransferKind kind);
+
+  // ---- fault model ----
+  // Rescales `link`'s effective bandwidth to scale * spec bandwidth (scale in (0, 1]).
+  // Active flows crossing the link are re-rated immediately; flows bottlenecked elsewhere
+  // keep their rate bit-for-bit, exactly like any other arrival/departure change point.
+  void SetLinkBandwidthScale(LinkId link, double scale);
+  double link_bandwidth_scale(LinkId link) const {
+    return link_scale_.at(static_cast<std::size_t>(link));
+  }
+
+  // Fail-stops `node`: every active flow whose route crosses one of the node's links is
+  // aborted (its completion event fires, flagged aborted), and any future transfer with a
+  // dead endpoint aborts at start. Surviving flows on shared links are re-rated — a dead
+  // GPU frees its share of the uplink for everyone else.
+  void FailNode(NodeId node);
+  bool NodeFailed(NodeId node) const {
+    return node < static_cast<NodeId>(node_dead_.size()) &&
+           node_dead_[static_cast<std::size_t>(node)];
+  }
+
+  // True when `done` (a StartTransfer event) fired because its transfer was aborted by a
+  // node failure rather than completing. Valid for the manager's lifetime.
+  bool WasAborted(const OneShotEvent* done) const { return aborted_events_.count(done) > 0; }
+  std::int64_t flows_aborted() const { return flows_aborted_; }
 
   // ---- accounting ----
   Bytes bytes_by_kind(TransferKind kind) const {
@@ -158,6 +187,10 @@ class TransferManager {
   std::vector<std::unique_ptr<OneShotEvent>> events_;  // owns completion events
 
   std::vector<int> link_active_;  // active flow count per link (maintained incrementally)
+  std::vector<double> link_scale_;  // effective-bandwidth multiplier per link (fault model)
+  std::vector<bool> node_dead_;     // fail-stopped nodes
+  std::unordered_set<const OneShotEvent*> aborted_events_;
+  std::int64_t flows_aborted_ = 0;
   std::vector<std::vector<Flow*>> link_flows_;  // flows crossing each link
   std::vector<Completion> completion_heap_;     // indexed min-heap, one entry per flow
   std::vector<LinkStats> link_stats_;

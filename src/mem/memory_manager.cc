@@ -103,6 +103,21 @@ bool MemoryManager::IsResidentHere(TensorId id) const {
   return s.residency == Residency::kResident && s.device == device_index_;
 }
 
+Bytes MemoryManager::ResidentDirtyBytesOf(TensorClass cls) const {
+  const TensorRegistry& reg = system_->registry();
+  Bytes total = 0;
+  for (TensorId id : resident_) {
+    if (reg.meta(id).cls != cls) {
+      continue;
+    }
+    const TensorState& s = reg.state(id);
+    if (s.residency == Residency::kResident && s.dirty) {
+      total += reg.meta(id).bytes;
+    }
+  }
+  return total;
+}
+
 void MemoryManager::FreeTensor(TensorId id) {
   TensorRegistry& reg = system_->registry();
   TensorState& s = reg.mutable_state(id);

@@ -117,6 +117,10 @@ class MemoryManager {
   MemoryCounters& mutable_counters() { return counters_; }
   bool IsResidentHere(TensorId id) const;
 
+  // Bytes of `cls` tensors resident on this device whose copy diverges from host — exactly
+  // what a lightweight checkpoint must copy out (clean tensors already have a host copy).
+  Bytes ResidentDirtyBytesOf(TensorClass cls) const;
+
  private:
   friend class MemorySystem;
 

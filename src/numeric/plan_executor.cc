@@ -19,8 +19,13 @@ PlanExecutor::PlanExecutor(const Plan* plan, PlanExecutorConfig config, DataFn d
     HCHECK_LE(task.layer_end, num_model_layers_)
         << "plan layer range exceeds the MLP in " << task.DebugName();
   }
+  if (config_.initial_params.has_value()) {
+    HCHECK(!tensor_parallel_) << "initial_params resume is not supported for sharded plans";
+  }
   for (int r = 0; r <= max_replica; ++r) {
-    replicas_.push_back(InitMlp(config_.dims, config_.init_seed));
+    replicas_.push_back(config_.initial_params.has_value()
+                            ? *config_.initial_params
+                            : InitMlp(config_.dims, config_.init_seed));
   }
   losses_.assign(static_cast<std::size_t>(plan->num_iterations), 0.0);
 }

@@ -10,6 +10,7 @@
 #define HARMONY_SRC_NUMERIC_PLAN_EXECUTOR_H_
 
 #include <map>
+#include <optional>
 #include <tuple>
 #include <vector>
 
@@ -25,6 +26,11 @@ struct PlanExecutorConfig {
   int microbatches_per_replica = 1;  // maps (replica, microbatch) -> global microbatch
   double lr = 0.05;
   double momentum = 0.0;  // per-replica momentum buffers (the "K" optimizer state)
+  // Start from these exact parameters (weights + momentum buffers) instead of InitMlp —
+  // how a recovery segment resumes from a checkpoint. Every replica starts from the same
+  // copy, which is exactly the DP invariant after an update barrier. Not supported for
+  // tensor-parallel plans (shards own column ranges, not full replicas).
+  std::optional<MlpParams> initial_params;
 };
 
 class PlanExecutor {

@@ -1,5 +1,7 @@
 #include "src/numeric/reference.h"
 
+#include <utility>
+
 namespace harmony {
 
 DataFn SyntheticData(const std::vector<int>& dims, int microbatch_size, std::uint64_t seed) {
@@ -21,15 +23,17 @@ DataFn SyntheticData(const std::vector<int>& dims, int microbatch_size, std::uin
   };
 }
 
-ReferenceResult TrainReference(const std::vector<int>& dims, std::uint64_t init_seed,
-                               const DataFn& data, int iterations, int total_microbatches,
-                               int microbatch_size, double lr, double momentum) {
+namespace {
+
+ReferenceResult TrainFrom(MlpParams initial, const DataFn& data, int first_iteration,
+                          int iterations, int total_microbatches, int microbatch_size,
+                          double lr, double momentum) {
   ReferenceResult result;
-  result.params = InitMlp(dims, init_seed);
+  result.params = std::move(initial);
   const int num_layers = result.params.num_layers();
   const int samples = total_microbatches * microbatch_size;
 
-  for (int it = 0; it < iterations; ++it) {
+  for (int it = first_iteration; it < first_iteration + iterations; ++it) {
     std::vector<Mat> dw(static_cast<std::size_t>(num_layers));
     std::vector<Mat> db(static_cast<std::size_t>(num_layers));
     double loss = 0.0;
@@ -67,6 +71,23 @@ ReferenceResult TrainReference(const std::vector<int>& dims, std::uint64_t init_
     result.losses.push_back(loss);
   }
   return result;
+}
+
+}  // namespace
+
+ReferenceResult TrainReference(const std::vector<int>& dims, std::uint64_t init_seed,
+                               const DataFn& data, int iterations, int total_microbatches,
+                               int microbatch_size, double lr, double momentum) {
+  return TrainFrom(InitMlp(dims, init_seed), data, /*first_iteration=*/0, iterations,
+                   total_microbatches, microbatch_size, lr, momentum);
+}
+
+ReferenceResult TrainReferenceFrom(const MlpParams& initial, const DataFn& data,
+                                   int first_iteration, int iterations,
+                                   int total_microbatches, int microbatch_size, double lr,
+                                   double momentum) {
+  return TrainFrom(initial, data, first_iteration, iterations, total_microbatches,
+                   microbatch_size, lr, momentum);
 }
 
 }  // namespace harmony

@@ -29,6 +29,15 @@ ReferenceResult TrainReference(const std::vector<int>& dims, std::uint64_t init_
                                const DataFn& data, int iterations, int total_microbatches,
                                int microbatch_size, double lr, double momentum = 0.0);
 
+// Continues training from `initial` (weights + momentum buffers, e.g. a recovery
+// checkpoint) for `iterations` more iterations. `data` is queried with global iteration
+// indices starting at `first_iteration`, so the resumed trajectory sees exactly the data
+// the uninterrupted run would have seen.
+ReferenceResult TrainReferenceFrom(const MlpParams& initial, const DataFn& data,
+                                   int first_iteration, int iterations,
+                                   int total_microbatches, int microbatch_size, double lr,
+                                   double momentum = 0.0);
+
 }  // namespace harmony
 
 #endif  // HARMONY_SRC_NUMERIC_REFERENCE_H_

@@ -92,16 +92,31 @@ RunReport Engine::Run() {
   for (int d = 0; d < plan_->num_devices(); ++d) {
     StartNextTask(d);
   }
-  sim_->RunUntilIdle();
-  if (completed_tasks_ != static_cast<int>(plan_->tasks.size())) {
-    ReportDeadlock();
+  if (options_.watchdog_timeout > 0.0) {
+    sim_->ScheduleAfter(options_.watchdog_timeout, [this] { WatchdogCheck(0); });
   }
-  const Status quiescent = memory_->CheckQuiescent();
-  HCHECK(quiescent.ok()) << quiescent.ToString();
+  sim_->RunUntilIdle();
+  if (!aborting_) {
+    if (completed_tasks_ != static_cast<int>(plan_->tasks.size())) {
+      ReportDeadlock();
+    }
+    const Status quiescent = memory_->CheckQuiescent();
+    HCHECK(quiescent.ok()) << quiescent.ToString();
+  }
 
   RunReport report;
   report.scheme = plan_->scheme;
-  report.makespan = sim_->now();
+  // Fault expiries and watchdog ticks can leave the sim clock past the last productive
+  // event; failure-free runs keep the historical sim-idle makespan bit-for-bit.
+  report.makespan = fault_mode() ? finish_time_ : sim_->now();
+  report.failed = failed_;
+  report.failure_kind = failure_kind_;
+  report.failed_device = failed_device_;
+  report.failure_time = failure_time_;
+  report.checkpoints_committed = checkpoints_committed_;
+  report.checkpoint_bytes = checkpoint_bytes_;
+  report.last_checkpoint_iteration = last_checkpoint_iteration_;
+  report.last_checkpoint_time = last_checkpoint_time_;
   report.samples_per_iteration = plan_->samples_per_iteration;
   report.iterations = iteration_stats_;
   report.device_busy = device_busy_;
@@ -131,6 +146,9 @@ RunReport Engine::Run() {
 }
 
 void Engine::StartNextTask(int device) {
+  if (aborting_) {
+    return;  // recovery restarts from the last checkpoint; this segment is done
+  }
   DeviceState& state = devices_[static_cast<std::size_t>(device)];
   const auto& order = plan_->per_device_order[static_cast<std::size_t>(device)];
   if (state.next_index >= order.size()) {
@@ -147,6 +165,9 @@ void Engine::StartNextTask(int device) {
 }
 
 void Engine::AcquireAndRun(int device, TaskId task_id) {
+  if (aborting_) {
+    return;  // deps fired during the abort drain; don't pin new working sets
+  }
   const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
   MemoryManager& manager = memory_->manager(device);
 
@@ -218,6 +239,7 @@ void Engine::FinishTask(int device, TaskId task_id, MemoryManager::AcquireHandle
     manager.FreeTensor(id);
   }
   ++completed_tasks_;
+  finish_time_ = sim_->now();
   completion_[static_cast<std::size_t>(task_id)]->Fire();
 
   auto& remaining = iteration_remaining_[static_cast<std::size_t>(task.iteration)];
@@ -294,6 +316,88 @@ void Engine::OnIterationComplete(int iteration) {
   iteration_stats_.push_back(std::move(stats));
   last_snapshot_ = snap;
   last_iteration_end_ = sim_->now();
+  MaybeCheckpoint(iteration);
+}
+
+void Engine::MaybeCheckpoint(int iteration) {
+  if (options_.checkpoint_every <= 0 || aborting_) {
+    return;
+  }
+  if ((iteration + 1) % options_.checkpoint_every != 0 ||
+      iteration + 1 >= plan_->num_iterations) {
+    return;  // no checkpoint after the final iteration — the run is the checkpoint
+  }
+  // Copy out every device's diverged weight/optimizer bytes. Tensors already swapped out
+  // (or never touched) have a valid host copy and cost nothing — that is what makes the
+  // checkpoint "lightweight" relative to a full model dump.
+  const Topology& topo = transfers_->topology();
+  std::vector<std::pair<int, Bytes>> per_device;
+  Bytes total = 0;
+  for (int d = 0; d < plan_->num_devices(); ++d) {
+    if (transfers_->NodeFailed(topo.gpu_node(d))) {
+      continue;
+    }
+    const MemoryManager& manager = memory_->manager(d);
+    const Bytes bytes = manager.ResidentDirtyBytesOf(TensorClass::kWeight) +
+                        manager.ResidentDirtyBytesOf(TensorClass::kOptimizerState);
+    per_device.emplace_back(d, bytes);
+    total += bytes;
+  }
+  auto committed =
+      std::make_shared<CountdownEvent>(sim_, static_cast<int>(per_device.size()));
+  auto lost = std::make_shared<bool>(false);
+  for (const auto& [device, bytes] : per_device) {
+    OneShotEvent* done = transfers_->StartTransfer(
+        topo.gpu_node(device), topo.HostNodeForGpu(device), bytes, TransferKind::kCheckpoint);
+    done->OnFired([this, done, committed, lost] {
+      if (transfers_->WasAborted(done)) {
+        *lost = true;  // a device died mid-checkpoint: this checkpoint never commits
+      }
+      committed->Arrive();
+    });
+  }
+  committed->OnFired([this, iteration, total, lost] {
+    if (*lost || aborting_) {
+      return;
+    }
+    ++checkpoints_committed_;
+    checkpoint_bytes_ += total;
+    if (iteration > last_checkpoint_iteration_) {
+      last_checkpoint_iteration_ = iteration;
+      last_checkpoint_time_ = sim_->now();
+    }
+    finish_time_ = std::max(finish_time_, sim_->now());
+  });
+}
+
+void Engine::NotifyDeviceFailed(int gpu, SimTime when) {
+  if (aborting_) {
+    return;
+  }
+  aborting_ = true;
+  failed_ = true;
+  failure_kind_ = "gpu-fail-stop";
+  failed_device_ = gpu;
+  failure_time_ = when;
+  finish_time_ = std::max(finish_time_, when);
+}
+
+void Engine::WatchdogCheck(int last_completed) {
+  if (aborting_ || completed_tasks_ == static_cast<int>(plan_->tasks.size())) {
+    return;  // stop re-arming so the sim can go idle
+  }
+  if (completed_tasks_ == last_completed) {
+    // A whole period with zero task completions: the schedule is stuck (circular memory
+    // wait, lost collective partner) or livelocked (event churn without progress).
+    aborting_ = true;
+    failed_ = true;
+    failure_kind_ = "watchdog-stall";
+    failure_time_ = sim_->now();
+    finish_time_ = std::max(finish_time_, sim_->now());
+    return;
+  }
+  const int snapshot = completed_tasks_;
+  sim_->ScheduleAfter(options_.watchdog_timeout, [this, snapshot] { WatchdogCheck(snapshot); });
 }
 
 void Engine::ReportDeadlock() const {

@@ -33,6 +33,19 @@ namespace harmony {
 struct EngineOptions {
   bool prefetch = true;         // double-buffer the next task's working set
   bool record_timeline = false;  // keep per-task start/end times (Fig. 4 rendering)
+
+  // ---- fault tolerance (all off by default: the failure-free path is byte-identical) ----
+  // Checkpoint resident dirty weights + optimizer state to host after every k-th iteration
+  // (0 = never). The copy-out rides the normal transfer fabric, so its cost and contention
+  // are part of the measured makespan.
+  int checkpoint_every = 0;
+  // Flag the run as stalled when no task completes for this many sim seconds (0 = no
+  // watchdog). Must exceed the longest single task's compute+swap latency.
+  double watchdog_timeout = 0.0;
+  // Set when a FaultInjector is armed on this run. Makes Run() report makespan as the last
+  // productive event instead of sim idle time (fault expiries and watchdog ticks can leave
+  // the sim clock past the real finish).
+  bool fault_mode = false;
 };
 
 struct TaskTrace {
@@ -50,8 +63,14 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // Executes the whole plan to completion (fatal with diagnostics on deadlock) and returns
-  // the measured report.
+  // the measured report. Under fault options a failure does not crash: the engine stops
+  // dispatching, drains in-flight work, and returns a report with `failed` set.
   RunReport Run();
+
+  // Fault-injector callback: GPU `gpu` fail-stopped at sim time `when` (its flows are
+  // already aborted). The engine aborts the run — rollback/rebinding happens one level up,
+  // in the recovery coordinator.
+  void NotifyDeviceFailed(int gpu, SimTime when);
 
   const std::vector<TaskTrace>& timeline() const { return timeline_; }
 
@@ -76,6 +95,12 @@ class Engine {
   void MaybePrefetch(int device);
   Snapshot TakeSnapshot() const;
   void OnIterationComplete(int iteration);
+  void MaybeCheckpoint(int iteration);
+  void WatchdogCheck(int last_completed);
+  bool fault_mode() const {
+    return options_.fault_mode || options_.checkpoint_every > 0 ||
+           options_.watchdog_timeout > 0.0 || failed_;
+  }
   void ReportDeadlock() const;
 
   Simulator* sim_;
@@ -103,6 +128,20 @@ class Engine {
   std::vector<TaskTrace> timeline_;
   std::vector<IterationStats> iteration_stats_;
   int completed_tasks_ = 0;
+
+  // Fault state. `aborting_` stops dispatch everywhere; in-flight events still drain so the
+  // sim reaches a consistent quiet point (the drain time is the recovery coordinator's
+  // "recovery latency" input).
+  bool aborting_ = false;
+  bool failed_ = false;
+  std::string failure_kind_;
+  int failed_device_ = -1;
+  double failure_time_ = 0.0;
+  double finish_time_ = 0.0;  // last productive event (task finish / checkpoint commit)
+  int checkpoints_committed_ = 0;
+  Bytes checkpoint_bytes_ = 0;
+  int last_checkpoint_iteration_ = -1;
+  double last_checkpoint_time_ = 0.0;
 };
 
 }  // namespace harmony

@@ -70,6 +70,16 @@ struct RunReport {
   Bytes total_p2p = 0;
   Bytes total_collective = 0;
 
+  // ---- fault / recovery (all zero on a failure-free run; Summary() never prints them) ----
+  bool failed = false;          // the run stopped early (fail-stop or watchdog stall)
+  std::string failure_kind;     // "gpu-fail-stop" | "watchdog-stall"
+  int failed_device = -1;       // GPU index for gpu-fail-stop
+  double failure_time = 0.0;    // sim time the failure was detected
+  int checkpoints_committed = 0;
+  Bytes checkpoint_bytes = 0;           // total bytes copied out across all checkpoints
+  int last_checkpoint_iteration = -1;   // -1 = no committed checkpoint (restart from init)
+  double last_checkpoint_time = 0.0;
+
   int num_devices() const { return static_cast<int>(device_busy.size()); }
 
   // Steady-state = average over iterations [1, n); falls back to iteration 0 for

@@ -1,0 +1,298 @@
+#include "src/sim/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/rng.h"
+
+namespace harmony {
+namespace {
+
+// Fixed-precision time/scale rendering so traces are byte-stable across platforms.
+std::string FormatFixed(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+Status MalformedEvent(const std::string& event, const std::string& why) {
+  return InvalidArgumentError("malformed fault event '" + event + "': " + why +
+                              " (see --help for the --faults grammar)");
+}
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+StatusOr<double> ParseDouble(const std::string& event, const std::string& field,
+                             const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (field.empty() || end != field.c_str() + field.size() || !std::isfinite(value)) {
+    return MalformedEvent(event, what + " must be a finite number, got '" + field + "'");
+  }
+  return value;
+}
+
+StatusOr<int> ParseGpuField(const std::string& event, const std::string& field) {
+  if (field.rfind("gpu", 0) != 0 || field.size() == 3) {
+    return MalformedEvent(event, "expected a target like 'gpu2', got '" + field + "'");
+  }
+  const std::string digits = field.substr(3);
+  char* end = nullptr;
+  const long gpu = std::strtol(digits.c_str(), &end, 10);
+  if (end != digits.c_str() + digits.size() || gpu < 0) {
+    return MalformedEvent(event, "expected a target like 'gpu2', got '" + field + "'");
+  }
+  return static_cast<int>(gpu);
+}
+
+StatusOr<FaultPlan> ParseRandSpec(const std::string& event) {
+  RandomFaultOptions options;
+  // event = "rand:key=value,key=value,..."
+  for (const std::string& kv : Split(event.substr(5), ',')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return MalformedEvent(event, "rand options must be key=value, got '" + kv + "'");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "seed") {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "mtbf") {
+      StatusOr<double> v = ParseDouble(event, value, "mtbf");
+      if (!v.ok()) {
+        return v.status();
+      }
+      options.mtbf = v.value();
+    } else if (key == "horizon") {
+      StatusOr<double> v = ParseDouble(event, value, "horizon");
+      if (!v.ok()) {
+        return v.status();
+      }
+      options.horizon = v.value();
+    } else if (key == "gpus") {
+      options.num_gpus = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "fail") {
+      options.allow_fail_stop = value == "1" || value == "true";
+    } else {
+      return MalformedEvent(event, "unknown rand option '" + key + "'");
+    }
+  }
+  if (options.mtbf <= 0.0 || options.horizon <= 0.0 || options.num_gpus <= 0) {
+    return MalformedEvent(event, "mtbf, horizon and gpus must all be positive");
+  }
+  return MakeRandomFaultPlan(options);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGpuFailStop:
+      return "gpu-fail-stop";
+    case FaultKind::kGpuLinkDegrade:
+      return "gpu-link-degrade";
+    case FaultKind::kHostLinkDegrade:
+      return "host-link-degrade";
+    case FaultKind::kHostMemPressure:
+      return "host-mem-pressure";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case FaultKind::kGpuFailStop:
+      os << "fail@" << FormatFixed(time) << ":gpu" << gpu;
+      break;
+    case FaultKind::kGpuLinkDegrade:
+      os << "degrade@" << FormatFixed(time) << ":gpu" << gpu << ":" << FormatFixed(scale)
+         << ":" << FormatFixed(duration);
+      break;
+    case FaultKind::kHostLinkDegrade:
+      os << "degrade@" << FormatFixed(time) << ":host:" << FormatFixed(scale) << ":"
+         << FormatFixed(duration);
+      break;
+    case FaultKind::kHostMemPressure:
+      os << "mem@" << FormatFixed(time) << ":" << FormatFixed(scale) << ":"
+         << FormatFixed(duration);
+      break;
+  }
+  return os.str();
+}
+
+void FaultPlan::Add(FaultEvent event) {
+  // Stable insertion keeps equal-time events in Add() order — the replay order contract.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  events_.insert(pos, event);
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) {
+      os << ";";
+    }
+    os << events_[i].ToString();
+  }
+  return os.str();
+}
+
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& event : Split(spec, ';')) {
+    if (event.empty()) {
+      continue;
+    }
+    if (event.rfind("rand:", 0) == 0) {
+      StatusOr<FaultPlan> random = ParseRandSpec(event);
+      if (!random.ok()) {
+        return random.status();
+      }
+      for (const FaultEvent& e : random.value().events()) {
+        plan.Add(e);
+      }
+      continue;
+    }
+    const auto at = event.find('@');
+    if (at == std::string::npos) {
+      return MalformedEvent(event, "expected '<kind>@<time>:...'");
+    }
+    const std::string kind = event.substr(0, at);
+    const std::vector<std::string> fields = Split(event.substr(at + 1), ':');
+    StatusOr<double> time = ParseDouble(event, fields[0], "time");
+    if (!time.ok()) {
+      return time.status();
+    }
+    if (time.value() < 0.0) {
+      return MalformedEvent(event, "time must be >= 0");
+    }
+
+    FaultEvent e;
+    e.time = time.value();
+    if (kind == "fail") {
+      if (fields.size() != 2) {
+        return MalformedEvent(event, "expected fail@<t>:gpu<i>");
+      }
+      StatusOr<int> gpu = ParseGpuField(event, fields[1]);
+      if (!gpu.ok()) {
+        return gpu.status();
+      }
+      e.kind = FaultKind::kGpuFailStop;
+      e.gpu = gpu.value();
+    } else if (kind == "degrade") {
+      if (fields.size() != 4) {
+        return MalformedEvent(event, "expected degrade@<t>:<gpu<i>|host>:<scale>:<dur>");
+      }
+      StatusOr<double> scale = ParseDouble(event, fields[2], "scale");
+      if (!scale.ok()) {
+        return scale.status();
+      }
+      StatusOr<double> duration = ParseDouble(event, fields[3], "duration");
+      if (!duration.ok()) {
+        return duration.status();
+      }
+      if (scale.value() <= 0.0 || scale.value() > 1.0) {
+        return MalformedEvent(event, "scale must be in (0, 1]");
+      }
+      if (duration.value() < 0.0) {
+        return MalformedEvent(event, "duration must be >= 0 (0 = permanent)");
+      }
+      e.scale = scale.value();
+      e.duration = duration.value();
+      if (fields[1] == "host") {
+        e.kind = FaultKind::kHostLinkDegrade;
+      } else {
+        StatusOr<int> gpu = ParseGpuField(event, fields[1]);
+        if (!gpu.ok()) {
+          return gpu.status();
+        }
+        e.kind = FaultKind::kGpuLinkDegrade;
+        e.gpu = gpu.value();
+      }
+    } else if (kind == "mem") {
+      if (fields.size() != 3) {
+        return MalformedEvent(event, "expected mem@<t>:<scale>:<dur>");
+      }
+      StatusOr<double> scale = ParseDouble(event, fields[1], "scale");
+      if (!scale.ok()) {
+        return scale.status();
+      }
+      StatusOr<double> duration = ParseDouble(event, fields[2], "duration");
+      if (!duration.ok()) {
+        return duration.status();
+      }
+      if (scale.value() <= 0.0 || scale.value() > 1.0) {
+        return MalformedEvent(event, "scale must be in (0, 1]");
+      }
+      if (duration.value() < 0.0) {
+        return MalformedEvent(event, "duration must be >= 0 (0 = permanent)");
+      }
+      e.kind = FaultKind::kHostMemPressure;
+      e.scale = scale.value();
+      e.duration = duration.value();
+    } else {
+      return MalformedEvent(event, "unknown fault kind '" + kind + "'");
+    }
+    plan.Add(e);
+  }
+  return plan;
+}
+
+FaultPlan MakeRandomFaultPlan(const RandomFaultOptions& options) {
+  HCHECK_GT(options.mtbf, 0.0);
+  HCHECK_GT(options.horizon, 0.0);
+  HCHECK_GT(options.num_gpus, 0);
+  FaultPlan plan;
+  Rng rng(options.seed);
+  bool fail_stop_used = false;
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival at rate 1/mtbf. 1 - NextDouble() keeps log() off zero.
+    t += -options.mtbf * std::log(1.0 - rng.NextDouble());
+    if (t >= options.horizon) {
+      return plan;
+    }
+    FaultEvent e;
+    e.time = t;
+    // Draw the fault class; fail-stop is deliberately rare (one per plan at most) so the
+    // schedule degrades before it amputates.
+    const std::uint64_t roll = rng.NextBounded(8);
+    if (roll == 0 && options.allow_fail_stop && !fail_stop_used) {
+      fail_stop_used = true;
+      e.kind = FaultKind::kGpuFailStop;
+      e.gpu = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(options.num_gpus)));
+    } else {
+      const std::uint64_t which = rng.NextBounded(3);
+      e.kind = which == 0   ? FaultKind::kGpuLinkDegrade
+               : which == 1 ? FaultKind::kHostLinkDegrade
+                            : FaultKind::kHostMemPressure;
+      if (e.kind == FaultKind::kGpuLinkDegrade) {
+        e.gpu = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(options.num_gpus)));
+      }
+      e.scale = rng.NextDouble(options.min_scale, 0.9);
+      e.duration = -options.mean_duration * std::log(1.0 - rng.NextDouble());
+    }
+    plan.Add(e);
+  }
+}
+
+}  // namespace harmony

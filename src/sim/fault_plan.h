@@ -1,0 +1,86 @@
+// Deterministic fault schedules for the simulated machine.
+//
+// A FaultPlan is a time-ordered list of hardware anomalies — device fail-stop, link
+// bandwidth degradation/flap, transient host-memory pressure — that the FaultInjector
+// (hw/fault_injector.h) replays against a Simulator + TransferManager. Plans come from an
+// explicit user spec (`--faults=`) or from a seeded RNG (MTBF-driven), and are plain data:
+// the same plan applied to the same machine produces a bitwise-identical event trace, which
+// is what the fault determinism tests pin down.
+#ifndef HARMONY_SRC_SIM_FAULT_PLAN_H_
+#define HARMONY_SRC_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/status.h"
+
+namespace harmony {
+
+enum class FaultKind : int {
+  kGpuFailStop = 0,     // device fail-stop: the GPU and its links go away permanently
+  kGpuLinkDegrade = 1,  // the GPU <-> switch links run at `scale` for `duration` seconds
+  kHostLinkDegrade = 2, // every switch <-> host uplink runs at `scale` for `duration`
+  kHostMemPressure = 3, // transient host-DRAM pressure: swap bandwidth scaled by `scale`
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimTime time = 0.0;   // absolute time the fault strikes
+  FaultKind kind = FaultKind::kGpuFailStop;
+  int gpu = -1;         // target GPU for kGpuFailStop / kGpuLinkDegrade, -1 otherwise
+  double scale = 1.0;   // bandwidth multiplier while degraded (in (0, 1])
+  double duration = 0.0;  // seconds the degradation lasts; 0 = permanent
+
+  // One-line rendering, e.g. "fail@1.500:gpu2" — stable across runs (trace identity).
+  std::string ToString() const;
+};
+
+// Time-ordered fault schedule. Events inserted out of order are kept sorted (stable on
+// insertion order for equal times).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void Add(FaultEvent event);
+  bool empty() const { return events_.empty(); }
+  int size() const { return static_cast<int>(events_.size()); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // Semicolon-joined event list; the canonical trace the determinism tests compare.
+  std::string ToString() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Parses a `--faults=` spec: semicolon-separated events, each of
+//   fail@<t>:gpu<i>                   device fail-stop at time t
+//   degrade@<t>:gpu<i>:<scale>:<dur>  GPU link degraded to scale for dur seconds (0 = forever)
+//   degrade@<t>:host:<scale>:<dur>    all host uplinks degraded (link flap when dur is short)
+//   mem@<t>:<scale>:<dur>             transient host-memory pressure (swap bandwidth scaled)
+//   rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>]
+//                                     seeded RNG-driven schedule over [0, horizon)
+// Returns an actionable error for malformed specs instead of crashing.
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+struct RandomFaultOptions {
+  std::uint64_t seed = 1;
+  double horizon = 10.0;       // generate faults in [0, horizon)
+  double mtbf = 5.0;           // mean time between faults (exponential inter-arrivals)
+  int num_gpus = 4;            // GPU index range for targeted faults
+  bool allow_fail_stop = true; // include permanent device fail-stops (at most one)
+  double min_scale = 0.25;     // degradations draw scale from [min_scale, 0.9]
+  double mean_duration = 1.0;  // mean degradation duration (exponential)
+};
+
+// Seeded fault schedule: exponential inter-arrival times at rate 1/mtbf, each event a
+// degradation (GPU link, host link, or memory pressure) or — at most once, when allowed —
+// a device fail-stop. Same options => bitwise-identical plan.
+FaultPlan MakeRandomFaultPlan(const RandomFaultOptions& options);
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_SIM_FAULT_PLAN_H_

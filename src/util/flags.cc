@@ -1,5 +1,7 @@
 #include "src/util/flags.h"
 
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -65,6 +67,40 @@ double FlagParser::GetDouble(const std::string& name) const {
 bool FlagParser::GetBool(const std::string& name) const {
   const std::string& v = Get(name);
   return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+StatusOr<int> FlagParser::GetCheckedInt(const std::string& name) const {
+  const std::string& v = Get(name);
+  char* end = nullptr;
+  const long value = std::strtol(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    return InvalidArgumentError("--" + name + " expects an integer, got '" + v + "'");
+  }
+  if (value < INT_MIN || value > INT_MAX) {
+    return InvalidArgumentError("--" + name + " value '" + v + "' is out of range");
+  }
+  return static_cast<int>(value);
+}
+
+StatusOr<double> FlagParser::GetCheckedDouble(const std::string& name) const {
+  const std::string& v = Get(name);
+  char* end = nullptr;
+  const double value = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || !std::isfinite(value)) {
+    return InvalidArgumentError("--" + name + " expects a finite number, got '" + v + "'");
+  }
+  return value;
+}
+
+StatusOr<bool> FlagParser::GetCheckedBool(const std::string& name) const {
+  const std::string& v = Get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  return InvalidArgumentError("--" + name + " expects true/false, got '" + v + "'");
 }
 
 std::string FlagParser::Usage(const std::string& program) const {

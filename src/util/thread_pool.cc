@@ -1,6 +1,7 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace harmony {
 
@@ -54,8 +55,20 @@ void ParallelFor(ThreadPool& pool, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool.Submit([&fn, i] { fn(i); }));
   }
+  // Join every task before rethrowing: tasks capture `fn` by reference, so bailing out on
+  // the first error would unwind it (and the futures) while queued tasks still use it.
+  std::exception_ptr first;
   for (std::future<void>& future : futures) {
-    future.get();
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -69,7 +70,8 @@ int ResolveThreadCount(int requested);
 void ParallelFor(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn);
 
 // Maps [0, n) through `fn` across the pool; results are collected by index, so the output
-// vector is identical to the serial `for` loop no matter how tasks interleave.
+// vector is identical to the serial `for` loop no matter how tasks interleave. Any task
+// exception is rethrown (the first one, in index order) after every task has been joined.
 template <typename F>
 auto ParallelMap(ThreadPool& pool, std::size_t n, F fn)
     -> std::vector<std::invoke_result_t<F, std::size_t>> {
@@ -79,10 +81,22 @@ auto ParallelMap(ThreadPool& pool, std::size_t n, F fn)
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool.Submit([fn, i] { return fn(i); }));
   }
+  // Join everything before rethrowing so no task is left running behind the caller's back
+  // (and so the rethrown exception is deterministically the lowest-index one).
   std::vector<R> results;
   results.reserve(n);
+  std::exception_ptr first;
   for (std::future<R>& future : futures) {
-    results.push_back(future.get());
+    try {
+      results.push_back(future.get());
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
   }
   return results;
 }

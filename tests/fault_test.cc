@@ -1,0 +1,486 @@
+// Fault injection + elastic recovery tests.
+//
+// Three layers: (1) TransferManager under degraded links and fail-stopped nodes, (2) the
+// FaultInjector's byte-stable replay trace, (3) RunTraining / RunTrainingElastic — the
+// typed failure reports, checkpoint accounting, recovery determinism, and the headline
+// property: a Harmony-PP run that loses a GPU mid-iteration resumes on the survivors and
+// lands on *bit-for-bit* the weights a failure-free run on those survivors produces from
+// the same checkpoint.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/core/recovery.h"
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/hw/fault_injector.h"
+#include "src/hw/transfer_manager.h"
+#include "src/numeric/plan_executor.h"
+#include "src/numeric/reference.h"
+#include "src/sim/fault_plan.h"
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+
+namespace harmony {
+namespace {
+
+ServerConfig FourGpuServer() {
+  ServerConfig config;
+  config.num_gpus = 4;
+  config.gpus_per_switch = 4;
+  return config;
+}
+
+// Every directed link incident to `node`.
+std::vector<LinkId> IncidentLinks(const Topology& topo, NodeId node) {
+  std::vector<LinkId> links;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (topo.link(l).src == node || topo.link(l).dst == node) {
+      links.push_back(l);
+    }
+  }
+  return links;
+}
+
+// ---- TransferManager under faults -------------------------------------------------------------
+
+class FaultTransferTest : public ::testing::Test {
+ protected:
+  FaultTransferTest()
+      : topo_(MakeCommodityServerTopology(FourGpuServer())), tm_(&sim_, &topo_) {}
+
+  Simulator sim_;
+  Topology topo_;
+  TransferManager tm_;
+};
+
+TEST_F(FaultTransferTest, DegradedLinkHalvesFlowRate) {
+  for (LinkId l : topo_.Route(topo_.gpu_node(0), topo_.host_node())) {
+    tm_.SetLinkBandwidthScale(l, 0.5);
+  }
+  OneShotEvent* done = tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(),
+                                         static_cast<Bytes>(GBps(12.8)),
+                                         TransferKind::kSwapOut);
+  sim_.RunUntilIdle();
+  ASSERT_TRUE(done->fired());
+  EXPECT_NEAR(done->fire_time(), 2.0, 1e-2);  // 12.8 GB at 6.4 GB/s
+  EXPECT_FALSE(tm_.WasAborted(done));
+}
+
+TEST_F(FaultTransferTest, MidFlightRestoreReRatesTheFlow) {
+  const std::vector<LinkId> route = topo_.Route(topo_.gpu_node(0), topo_.host_node());
+  for (LinkId l : route) {
+    tm_.SetLinkBandwidthScale(l, 0.5);
+  }
+  OneShotEvent* done = tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(),
+                                         static_cast<Bytes>(GBps(12.8)),
+                                         TransferKind::kSwapOut);
+  sim_.ScheduleAt(1.0, [&] {
+    for (LinkId l : route) {
+      tm_.SetLinkBandwidthScale(l, 1.0);
+    }
+  });
+  sim_.RunUntilIdle();
+  // 6.4 GB moved in the degraded first second; the remaining 6.4 GB runs at full rate.
+  EXPECT_NEAR(done->fire_time(), 1.5, 1e-2);
+}
+
+TEST_F(FaultTransferTest, FailNodeAbortsInFlightFlowsAndStillFires) {
+  OneShotEvent* doomed = tm_.StartTransfer(topo_.gpu_node(0), topo_.host_node(),
+                                           static_cast<Bytes>(GBps(12.8)),
+                                           TransferKind::kSwapOut);
+  OneShotEvent* survivor = tm_.StartTransfer(topo_.gpu_node(1), topo_.host_node(),
+                                             static_cast<Bytes>(GBps(12.8)),
+                                             TransferKind::kSwapOut);
+  sim_.ScheduleAt(0.5, [&] { tm_.FailNode(topo_.gpu_node(0)); });
+  sim_.RunUntilIdle();
+  ASSERT_TRUE(doomed->fired());
+  EXPECT_TRUE(tm_.WasAborted(doomed));
+  EXPECT_NEAR(doomed->fire_time(), 0.5, 1e-9);  // aborted at failure time, not completion
+  EXPECT_TRUE(tm_.NodeFailed(topo_.gpu_node(0)));
+  EXPECT_EQ(tm_.flows_aborted(), 1);
+  // The survivor sheds the contention: 3.2 GB moved while sharing the uplink, the
+  // remaining 9.6 GB alone at full rate.
+  ASSERT_TRUE(survivor->fired());
+  EXPECT_FALSE(tm_.WasAborted(survivor));
+  EXPECT_NEAR(survivor->fire_time(), 1.25, 1e-2);
+}
+
+TEST_F(FaultTransferTest, TransferTouchingDeadNodeAbortsImmediately) {
+  tm_.FailNode(topo_.gpu_node(2));
+  OneShotEvent* done = tm_.StartTransfer(topo_.gpu_node(2), topo_.host_node(), 1000,
+                                         TransferKind::kSwapOut);
+  sim_.RunUntilIdle();
+  ASSERT_TRUE(done->fired());
+  EXPECT_TRUE(tm_.WasAborted(done));
+  EXPECT_DOUBLE_EQ(done->fire_time(), 0.0);
+}
+
+// ---- FaultInjector ----------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, TraceIsByteStableAcrossRuns) {
+  const StatusOr<FaultPlan> plan = ParseFaultSpec(
+      "degrade@0.25:gpu1:0.5:1;degrade@0.5:host:0.75:2;mem@1:0.5:0.5;fail@2:gpu3");
+  ASSERT_TRUE(plan.ok());
+  auto run = [&plan] {
+    Topology topo = MakeCommodityServerTopology(FourGpuServer());
+    Simulator sim;
+    TransferManager tm(&sim, &topo);
+    FaultInjector injector(&sim, &tm);
+    injector.Arm(plan.value());
+    sim.RunUntilIdle();
+    return injector.TraceString();
+  };
+  const std::string first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first.find("apply@"), std::string::npos);
+  EXPECT_NE(first.find("expire@"), std::string::npos);
+  EXPECT_EQ(first, run());
+}
+
+TEST(FaultInjectorTest, OverlappingDegradesComposeAndUnwindExactly) {
+  Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+  FaultInjector injector(&sim, &tm);
+  // Two windows on gpu1's links: [1, 5) at 0.5 and [2, 3) at 0.5 — scales multiply while
+  // both are in force and unwind to exactly 1.0 (no divide-to-undo drift).
+  const StatusOr<FaultPlan> plan =
+      ParseFaultSpec("degrade@1:gpu1:0.5:4;degrade@2:gpu1:0.5:1");
+  ASSERT_TRUE(plan.ok());
+  injector.Arm(plan.value());
+  const std::vector<LinkId> links = IncidentLinks(topo, topo.gpu_node(1));
+  ASSERT_FALSE(links.empty());
+  std::vector<double> samples;
+  for (double t : {0.5, 1.5, 2.5, 3.5, 6.0}) {
+    sim.ScheduleAt(t, [&, t] { samples.push_back(tm.link_bandwidth_scale(links[0])); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_DOUBLE_EQ(samples[0], 1.0);
+  EXPECT_DOUBLE_EQ(samples[1], 0.5);
+  EXPECT_DOUBLE_EQ(samples[2], 0.25);
+  EXPECT_DOUBLE_EQ(samples[3], 0.5);
+  EXPECT_DOUBLE_EQ(samples[4], 1.0);  // exact — the stack pops to the identity
+  for (LinkId l : IncidentLinks(topo, topo.gpu_node(0))) {
+    EXPECT_DOUBLE_EQ(tm.link_bandwidth_scale(l), 1.0);  // bystander GPUs untouched
+  }
+}
+
+TEST(FaultInjectorTest, OutOfRangeGpuTargetIsDroppedNotFatal) {
+  Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+  FaultInjector injector(&sim, &tm);
+  const StatusOr<FaultPlan> plan = ParseFaultSpec("fail@1:gpu9");
+  ASSERT_TRUE(plan.ok());
+  injector.Arm(plan.value());
+  sim.RunUntilIdle();
+  EXPECT_EQ(injector.fail_stops_applied(), 0);
+  EXPECT_NE(injector.TraceString().find("drop@"), std::string::npos);
+}
+
+// ---- Session-level failure reports ------------------------------------------------------------
+
+Model FaultModel(int layers = 8) {
+  UniformModelConfig config;
+  config.num_layers = layers;
+  config.param_bytes = 8 * kMiB;
+  config.act_bytes_per_sample = 2 * kMiB;
+  config.optimizer_state_factor = 1.0;
+  config.fwd_flops_per_sample = 1e9;
+  return MakeUniformModel(config);
+}
+
+SessionConfig FaultConfig(int n_gpus, int microbatches) {
+  SessionConfig config;
+  config.server.num_gpus = n_gpus;
+  config.server.gpu = TestGpu(26 * kMiB, TFlops(1.0));
+  config.scheme = Scheme::kHarmonyPp;
+  config.microbatches = microbatches;
+  config.iterations = 4;
+  config.prefetch = false;
+  return config;
+}
+
+TEST(FaultSessionTest, FailStopProducesTypedReportNotCrash) {
+  const Model model = FaultModel();
+  SessionConfig config = FaultConfig(2, 4);
+  config.faults.Add(FaultEvent{0.05, FaultKind::kGpuFailStop, 1, 1.0, 0.0});
+  const SessionResult result = RunTraining(model, config);
+  EXPECT_TRUE(result.report.failed);
+  EXPECT_EQ(result.report.failure_kind, "gpu-fail-stop");
+  EXPECT_EQ(result.report.failed_device, 1);
+  EXPECT_DOUBLE_EQ(result.report.failure_time, 0.05);
+  EXPECT_GE(result.report.makespan, result.report.failure_time);
+  EXPECT_NE(result.fault_trace.find("apply@0.050 fail@0.050:gpu1"), std::string::npos);
+}
+
+TEST(FaultSessionTest, FailureFreeRunReportsNoFaultState) {
+  const Model model = FaultModel();
+  const SessionResult result = RunTraining(model, FaultConfig(2, 4));
+  EXPECT_FALSE(result.report.failed);
+  EXPECT_TRUE(result.fault_trace.empty());
+  EXPECT_EQ(result.report.checkpoints_committed, 0);
+  EXPECT_EQ(result.report.last_checkpoint_iteration, -1);
+}
+
+TEST(FaultSessionTest, QuietWatchdogLeavesMakespanBitIdentical) {
+  const Model model = FaultModel();
+  const SessionResult plain = RunTraining(model, FaultConfig(2, 4));
+  SessionConfig guarded_config = FaultConfig(2, 4);
+  guarded_config.watchdog_timeout = 1000.0;  // never trips on a healthy run
+  const SessionResult guarded = RunTraining(model, guarded_config);
+  EXPECT_FALSE(guarded.report.failed);
+  EXPECT_EQ(plain.report.makespan, guarded.report.makespan);  // bitwise
+}
+
+TEST(FaultSessionTest, CheckpointsCommitEveryKExceptAfterFinal) {
+  const Model model = FaultModel();
+  SessionConfig config = FaultConfig(2, 4);
+  config.iterations = 6;
+  config.checkpoint_every = 2;
+  const SessionResult result = RunTraining(model, config);
+  EXPECT_FALSE(result.report.failed);
+  // k=2 over 6 iterations: after iterations 1 and 3; never after the final one.
+  EXPECT_EQ(result.report.checkpoints_committed, 2);
+  EXPECT_EQ(result.report.last_checkpoint_iteration, 3);
+  EXPECT_GT(result.report.checkpoint_bytes, 0);
+  EXPECT_GT(result.report.last_checkpoint_time, 0.0);
+}
+
+TEST(FaultSessionTest, DegradeSlowsTheRunThenExpires) {
+  const Model model = FaultModel();
+  const SessionResult clean = RunTraining(model, FaultConfig(2, 4));
+  SessionConfig slow_config = FaultConfig(2, 4);
+  // Host uplinks at 30% for most of the run: swap-bound schedules must stretch.
+  slow_config.faults.Add(
+      FaultEvent{0.0, FaultKind::kHostLinkDegrade, -1, 0.3, clean.report.makespan});
+  const SessionResult slow = RunTraining(model, slow_config);
+  EXPECT_FALSE(slow.report.failed);
+  EXPECT_EQ(slow.report.iterations.size(), clean.report.iterations.size());
+  EXPECT_GT(slow.report.makespan, clean.report.makespan);
+}
+
+TEST(FaultSessionTest, ValidateRejectsFaultTargetsOutsideTheMachine) {
+  const Model model = FaultModel();
+  SessionConfig config = FaultConfig(2, 4);
+  config.faults.Add(FaultEvent{1.0, FaultKind::kGpuFailStop, 5, 1.0, 0.0});
+  const Status status = ValidateSessionConfig(model, config);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("gpu"), std::string::npos);
+}
+
+// ---- Elastic recovery -------------------------------------------------------------------------
+
+TEST(FaultElasticTest, NoFaultsDegeneratesToOneSegment) {
+  const Model model = FaultModel();
+  const ElasticResult result = RunTrainingElastic(model, FaultConfig(2, 4));
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.segments.size(), 1u);
+  EXPECT_EQ(result.stats.failures, 0);
+  EXPECT_EQ(result.completed_iterations, 4);
+  EXPECT_EQ(result.final_segment().gpus, (std::vector<int>{0, 1}));
+}
+
+TEST(FaultElasticTest, LastGpuDyingIsATypedError) {
+  const Model model = FaultModel(4);
+  SessionConfig config = FaultConfig(1, 2);
+  config.faults.Add(FaultEvent{0.05, FaultKind::kGpuFailStop, 0, 1.0, 0.0});
+  const ElasticResult result = RunTrainingElastic(model, config);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_NE(result.status.message().find("no surviving device"), std::string::npos);
+  EXPECT_EQ(result.stats.failures, 1);
+}
+
+TEST(FaultElasticTest, DpShrinkThatBreaksTheMinibatchIsATypedError) {
+  const Model model = FaultModel(4);
+  SessionConfig config = FaultConfig(4, 1);
+  config.scheme = Scheme::kHarmonyDp;
+  // 4 replicas x 1 microbatch = 4; three survivors cannot split 4 evenly.
+  config.faults.Add(FaultEvent{0.05, FaultKind::kGpuFailStop, 2, 1.0, 0.0});
+  const ElasticResult result = RunTrainingElastic(model, config);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_NE(result.status.message().find("does not divide"), std::string::npos);
+}
+
+TEST(FaultElasticTest, RecoveryIsDeterministicAcrossRuns) {
+  const Model model = FaultModel();
+  SessionConfig config = FaultConfig(4, 4);
+  config.iterations = 6;
+  config.checkpoint_every = 2;
+  const StatusOr<FaultPlan> plan =
+      ParseFaultSpec("degrade@0.1:host:0.5:0.5;fail@0.9:gpu2;mem@1.2:0.5:0.3");
+  ASSERT_TRUE(plan.ok());
+  config.faults = plan.value();
+  const ElasticResult a = RunTrainingElastic(model, config);
+  const ElasticResult b = RunTrainingElastic(model, config);
+  ASSERT_TRUE(a.status.ok());
+  EXPECT_EQ(a.FaultTrace(), b.FaultTrace());
+  EXPECT_EQ(a.segments.size(), b.segments.size());
+  EXPECT_EQ(a.total_makespan, b.total_makespan);  // bitwise
+  EXPECT_EQ(a.stats.failures, b.stats.failures);
+  EXPECT_EQ(a.stats.lost_work_sec, b.stats.lost_work_sec);
+  EXPECT_EQ(a.stats.recovery_latency_sec, b.stats.recovery_latency_sec);
+  EXPECT_EQ(a.stats.reswap_bytes, b.stats.reswap_bytes);
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes);
+  for (std::size_t s = 0; s < a.segments.size(); ++s) {
+    EXPECT_EQ(a.segments[s].result.report.makespan, b.segments[s].result.report.makespan);
+    EXPECT_EQ(a.segments[s].gpus, b.segments[s].gpus);
+  }
+}
+
+TEST(FaultElasticTest, StraddlingDegradeIsReappliedWithRemainingDuration) {
+  std::vector<bool> dead = {false, true, false, false};
+  const std::vector<int> alive = {0, 2, 3};
+  FaultPlan plan;
+  plan.Add(FaultEvent{1.0, FaultKind::kHostLinkDegrade, -1, 0.5, 4.0});   // spans the cut
+  plan.Add(FaultEvent{0.5, FaultKind::kGpuLinkDegrade, 1, 0.5, 10.0});    // dead target
+  plan.Add(FaultEvent{0.2, FaultKind::kGpuFailStop, 1, 1.0, 0.0});        // already struck
+  plan.Add(FaultEvent{3.0, FaultKind::kGpuLinkDegrade, 3, 0.5, 1.0});     // future, remaps
+  plan.Add(FaultEvent{0.1, FaultKind::kHostMemPressure, -1, 0.5, 0.5});   // expired
+  const FaultPlan shifted = ShiftFaultPlan(plan, /*offset=*/2.0, dead, alive);
+  EXPECT_EQ(shifted.ToString(),
+            "degrade@0.000:host:0.500:3.000;degrade@1.000:gpu2:0.500:1.000");
+}
+
+// ---- The headline property: bit-for-bit resume on the survivors -------------------------------
+
+// A 4-GPU Harmony-PP run loses gpu1 mid-iteration. The elastic coordinator must finish the
+// remaining iterations on 3 GPUs, and replaying the rebound segment's plan with real math
+// from the checkpoint must produce weights bit-identical to a failure-free 3-GPU run
+// started from that same checkpoint — and match the uninterrupted sequential trajectory.
+TEST(FaultElasticTest, PpFailStopResumesBitForBitOnSurvivors) {
+  const std::vector<int> dims = {6, 8, 8, 8, 4};
+  const Model model = MakeMlp(dims);
+  SessionConfig config;
+  config.server.num_gpus = 4;
+  config.server.gpu = TestGpu(64 * kMiB, TFlops(1.0));
+  config.scheme = Scheme::kHarmonyPp;
+  config.microbatches = 4;
+  config.microbatch_size = 2;
+  config.iterations = 6;
+  config.checkpoint_every = 2;
+
+  // Aim the fail-stop at ~60% of the failure-free makespan: mid-iteration, after at least
+  // one checkpoint has committed (the dry run is deterministic, so this is stable).
+  const double clean_makespan = RunTraining(model, config).report.makespan;
+  config.faults.Add(
+      FaultEvent{0.6 * clean_makespan, FaultKind::kGpuFailStop, 1, 1.0, 0.0});
+
+  const ElasticResult elastic = RunTrainingElastic(model, config);
+  ASSERT_TRUE(elastic.status.ok()) << elastic.status.ToString();
+  ASSERT_EQ(elastic.segments.size(), 2u);
+  EXPECT_EQ(elastic.stats.failures, 1);
+  EXPECT_EQ(elastic.completed_iterations, 6);
+  EXPECT_GT(elastic.stats.lost_work_sec, 0.0);
+  EXPECT_GT(elastic.stats.recovery_latency_sec, 0.0);
+  EXPECT_GT(elastic.stats.reswap_bytes, 0);
+
+  const RecoverySegment& resumed = elastic.final_segment();
+  EXPECT_EQ(resumed.gpus, (std::vector<int>{0, 2, 3}));
+  ASSERT_GT(resumed.start_iteration, 0);  // a checkpoint really was used
+  ASSERT_EQ(resumed.start_iteration + resumed.iterations, 6);
+  EXPECT_EQ(static_cast<int>(resumed.result.report.iterations.size()), resumed.iterations);
+
+  // Ground truth at the checkpoint: the sequential trajectory after start_iteration steps.
+  const double lr = 0.05;
+  const double momentum = 0.9;
+  const DataFn data = SyntheticData(dims, config.microbatch_size, 4242);
+  const ReferenceResult checkpoint =
+      TrainReference(dims, /*init_seed=*/7, data, resumed.start_iteration,
+                     config.microbatches, config.microbatch_size, lr, momentum);
+  // The resumed segment sees global iteration indices, so its data stream picks up where
+  // the failed run left off.
+  const DataFn resumed_data = [&data, &resumed](int iteration, int microbatch, Mat* x,
+                                                Mat* y) {
+    data(iteration + resumed.start_iteration, microbatch, x, y);
+  };
+
+  auto replay = [&](const SessionConfig& segment_config) {
+    const Machine machine = MakeCommodityServer(segment_config.server);
+    TensorRegistry registry;
+    const Plan plan = BuildPlanForConfig(model, machine, &registry, segment_config);
+    PlanExecutorConfig exec;
+    exec.dims = dims;
+    exec.init_seed = 7;
+    exec.microbatches_per_replica = segment_config.microbatches;
+    exec.lr = lr;
+    exec.momentum = momentum;
+    exec.initial_params = checkpoint.params;
+    PlanExecutor executor(&plan, exec, resumed_data);
+    executor.Run();
+    return executor.replica_params(0);
+  };
+
+  // (a) The rebound segment's own config, exactly as the coordinator produced it.
+  const MlpParams recovered = replay(resumed.config);
+  // (b) A failure-free 3-GPU run built from scratch over the same remaining iterations.
+  SessionConfig failure_free = config;
+  failure_free.server.num_gpus = 3;
+  failure_free.iterations = resumed.iterations;
+  failure_free.faults = FaultPlan();
+  failure_free.checkpoint_every = 0;
+  const MlpParams clean = replay(failure_free);
+
+  EXPECT_DOUBLE_EQ(MaxParamDiff(recovered, clean), 0.0);  // bit-for-bit
+
+  // And both match the uninterrupted sequential run (fp accumulation tolerance).
+  const ReferenceResult resumed_reference = TrainReferenceFrom(
+      checkpoint.params, data, resumed.start_iteration, resumed.iterations,
+      config.microbatches, config.microbatch_size, lr, momentum);
+  const ReferenceResult uninterrupted =
+      TrainReference(dims, 7, data, config.iterations, config.microbatches,
+                     config.microbatch_size, lr, momentum);
+  EXPECT_DOUBLE_EQ(MaxParamDiff(resumed_reference.params, uninterrupted.params), 0.0);
+  EXPECT_LT(MaxParamDiff(recovered, uninterrupted.params), 1e-9);
+}
+
+// Replaying the same recovery twice (fresh registries, fresh executors) lands on the same
+// bits: the whole fault → checkpoint → rebind → resume path is a pure function of config.
+TEST(FaultElasticTest, RecoveredWeightsAreBitStableAcrossReplays) {
+  const std::vector<int> dims = {6, 8, 8, 4};
+  const Model model = MakeMlp(dims);
+  SessionConfig config;
+  config.server.num_gpus = 3;
+  config.server.gpu = TestGpu(64 * kMiB, TFlops(1.0));
+  config.scheme = Scheme::kHarmonyPp;
+  config.microbatches = 3;
+  config.microbatch_size = 2;
+  config.iterations = 4;
+  config.checkpoint_every = 1;
+  const double clean_makespan = RunTraining(model, config).report.makespan;
+  config.faults.Add(
+      FaultEvent{0.5 * clean_makespan, FaultKind::kGpuFailStop, 0, 1.0, 0.0});
+
+  auto run = [&] {
+    const ElasticResult elastic = RunTrainingElastic(model, config);
+    HCHECK(elastic.status.ok()) << elastic.status.ToString();
+    const RecoverySegment& resumed = elastic.final_segment();
+    const DataFn data = SyntheticData(dims, config.microbatch_size, 11);
+    const ReferenceResult checkpoint =
+        TrainReference(dims, 3, data, resumed.start_iteration, config.microbatches,
+                       config.microbatch_size, 0.05);
+    const Machine machine = MakeCommodityServer(resumed.config.server);
+    TensorRegistry registry;
+    const Plan plan = BuildPlanForConfig(model, machine, &registry, resumed.config);
+    PlanExecutorConfig exec;
+    exec.dims = dims;
+    exec.init_seed = 3;
+    exec.microbatches_per_replica = resumed.config.microbatches;
+    exec.lr = 0.05;
+    exec.initial_params = checkpoint.params;
+    PlanExecutor executor(&plan, exec,
+                          [&data, &resumed](int iteration, int microbatch, Mat* x, Mat* y) {
+                            data(iteration + resumed.start_iteration, microbatch, x, y);
+                          });
+    executor.Run();
+    return executor.replica_params(0);
+  };
+  EXPECT_DOUBLE_EQ(MaxParamDiff(run(), run()), 0.0);
+}
+
+}  // namespace
+}  // namespace harmony

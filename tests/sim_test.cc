@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/sim/fault_plan.h"
 #include "src/sim/simulator.h"
 
 namespace harmony {
@@ -158,6 +159,116 @@ TEST(SimulatorPropertyTest, DeterministicAcrossRuns) {
     return times;
   };
   EXPECT_EQ(run(), run());
+}
+
+// ---- FaultPlan ---------------------------------------------------------------------------------
+
+TEST(FaultPlanTest, AddKeepsEventsSortedWithStableTies) {
+  FaultPlan plan;
+  plan.Add(FaultEvent{2.0, FaultKind::kGpuFailStop, 1, 1.0, 0.0});
+  plan.Add(FaultEvent{1.0, FaultKind::kGpuLinkDegrade, 0, 0.5, 1.0});
+  plan.Add(FaultEvent{1.0, FaultKind::kHostMemPressure, -1, 0.5, 1.0});  // tie: after degrade
+  ASSERT_EQ(plan.size(), 3);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kGpuLinkDegrade);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kHostMemPressure);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kGpuFailStop);
+}
+
+TEST(FaultPlanTest, ParseRendersBackByteStable) {
+  const StatusOr<FaultPlan> plan = ParseFaultSpec(
+      "fail@1.5:gpu2;degrade@0.25:gpu0:0.5:2;degrade@1:host:0.75:0;mem@2.5:0.5:1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().ToString(),
+            "degrade@0.250:gpu0:0.500:2.000;degrade@1.000:host:0.750:0.000;"
+            "fail@1.500:gpu2;mem@2.500:0.500:1.000");
+}
+
+TEST(FaultPlanTest, EmptySpecAndEmptyEventsAreFine) {
+  ASSERT_TRUE(ParseFaultSpec("").ok());
+  EXPECT_TRUE(ParseFaultSpec("").value().empty());
+  const StatusOr<FaultPlan> plan = ParseFaultSpec(";fail@1:gpu0;;");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().size(), 1);
+}
+
+TEST(FaultPlanTest, MalformedSpecsReturnActionableErrors) {
+  const char* bad[] = {
+      "fail@x:gpu0",            // non-numeric time
+      "fail@-1:gpu0",           // negative time
+      "fail@1:cpu0",            // bad target
+      "fail@1:gpu",             // missing index
+      "fail@1",                 // missing target
+      "degrade@1:gpu0:1.5:1",   // scale out of (0, 1]
+      "degrade@1:gpu0:0:1",     // scale zero
+      "degrade@1:gpu0:0.5:-1",  // negative duration
+      "degrade@1:gpu0:0.5",     // missing duration
+      "mem@1:0.5",              // missing duration
+      "explode@1:gpu0",         // unknown kind
+      "rand:seed=1,mtbf=0",     // non-positive mtbf
+      "rand:nope=1",            // unknown rand option
+  };
+  for (const char* spec : bad) {
+    const StatusOr<FaultPlan> plan = ParseFaultSpec(spec);
+    EXPECT_FALSE(plan.ok()) << spec;
+    EXPECT_NE(plan.status().message().find("malformed fault event"), std::string::npos)
+        << spec;
+  }
+}
+
+TEST(FaultPlanTest, RandomPlanIsSeedDeterministic) {
+  RandomFaultOptions options;
+  options.seed = 9;
+  options.mtbf = 0.5;
+  options.horizon = 10.0;
+  const FaultPlan a = MakeRandomFaultPlan(options);
+  const FaultPlan b = MakeRandomFaultPlan(options);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  options.seed = 10;
+  EXPECT_NE(MakeRandomFaultPlan(options).ToString(), a.ToString());
+}
+
+TEST(FaultPlanTest, RandomPlanHonorsHorizonAndFailStopBudget) {
+  RandomFaultOptions options;
+  options.seed = 4;
+  options.mtbf = 0.25;
+  options.horizon = 20.0;
+  options.num_gpus = 4;
+  const FaultPlan plan = MakeRandomFaultPlan(options);
+  int fail_stops = 0;
+  for (const FaultEvent& event : plan.events()) {
+    EXPECT_GE(event.time, 0.0);
+    EXPECT_LT(event.time, options.horizon);
+    if (event.kind == FaultKind::kGpuFailStop) {
+      ++fail_stops;
+    } else {
+      EXPECT_GT(event.scale, 0.0);
+      EXPECT_LE(event.scale, 1.0);
+    }
+    if (event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade) {
+      EXPECT_GE(event.gpu, 0);
+      EXPECT_LT(event.gpu, options.num_gpus);
+    }
+  }
+  EXPECT_LE(fail_stops, 1);  // at most one amputation per plan
+
+  options.allow_fail_stop = false;
+  const FaultPlan no_fail = MakeRandomFaultPlan(options);
+  for (const FaultEvent& event : no_fail.events()) {
+    EXPECT_NE(event.kind, FaultKind::kGpuFailStop);
+  }
+}
+
+TEST(FaultPlanTest, RandSpecMatchesDirectConstruction) {
+  RandomFaultOptions options;
+  options.seed = 7;
+  options.mtbf = 1.0;
+  options.horizon = 5.0;
+  options.num_gpus = 2;
+  const StatusOr<FaultPlan> parsed =
+      ParseFaultSpec("rand:seed=7,mtbf=1,horizon=5,gpus=2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().ToString(), MakeRandomFaultPlan(options).ToString());
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstddef>
 #include <future>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -68,6 +70,44 @@ TEST(ThreadPoolTest, ResolveThreadCountHonorsExplicitAndDetectsDefault) {
   EXPECT_EQ(ResolveThreadCount(1), 1);
   EXPECT_GE(ResolveThreadCount(0), 1);
   EXPECT_GE(ResolveThreadCount(-5), 1);
+}
+
+// Regression: ParallelFor used to rethrow on the first failed future, unwinding the
+// callback (captured by reference) while queued tasks still referenced it. Every task must
+// be joined first, then the lowest-index exception rethrown — deterministically.
+TEST(ThreadPoolTest, ParallelForJoinsEveryTaskBeforeRethrowing) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    ParallelFor(pool, 64, [&ran](std::size_t i) {
+      ran.fetch_add(1);
+      if (i % 8 == 3) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "ParallelFor swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");  // the first failing index, not a racing later one
+  }
+  EXPECT_EQ(ran.load(), 64);  // nothing was abandoned in the queue
+}
+
+TEST(ThreadPoolTest, ParallelMapJoinsEveryTaskBeforeRethrowing) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    ParallelMap(pool, 32, [&ran](std::size_t i) -> int {
+      ran.fetch_add(1);
+      if (i == 5 || i == 20) {
+        throw std::runtime_error("map " + std::to_string(i));
+      }
+      return static_cast<int>(i);
+    });
+    FAIL() << "ParallelMap swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "map 5");
+  }
+  EXPECT_EQ(ran.load(), 32);
 }
 
 // ---- tuner determinism across thread counts ----------------------------------------------

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "src/core/recovery.h"
 #include "src/core/schedule_render.h"
 #include "src/core/session.h"
 #include "src/core/tuner.h"
@@ -20,6 +21,17 @@
 
 namespace harmony {
 namespace {
+
+// Prints the error and reports failure when a checked flag didn't parse.
+template <typename T>
+bool AssignFlag(const StatusOr<T>& parsed, T* out) {
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().ToString() << "\n";
+    return false;
+  }
+  *out = parsed.value();
+  return true;
+}
 
 StatusOr<Scheme> SchemeByName(const std::string& name) {
   if (name == "baseline-dp") {
@@ -67,6 +79,17 @@ int Run(int argc, char** argv) {
       .Define("timeline", "false", "print the ASCII schedule timeline")
       .Define("trace", "", "write a chrome://tracing JSON to this path")
       .Define("csv", "", "write per-iteration metrics CSV to this path")
+      .Define("faults", "",
+              "fault schedule: 'fail@<t>:gpu<i>', 'degrade@<t>:gpu<i>:<scale>:<dur>', "
+              "'degrade@<t>:host:<scale>:<dur>', 'mem@<t>:<scale>:<dur>', or "
+              "'rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>]', "
+              "semicolon-separated; empty = no faults")
+      .Define("checkpoint_every", "0",
+              "host-checkpoint weights every k iterations (0 = never); the recovery path "
+              "resumes from the last committed checkpoint after a GPU fail-stop")
+      .Define("watchdog", "0",
+              "flag the run as stalled after this many sim seconds without a task "
+              "completion (0 = off)")
       .Define("help", "false", "show this help");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -90,16 +113,22 @@ int Run(int argc, char** argv) {
   }
 
   SessionConfig config;
-  config.server.num_gpus = flags.GetInt("gpus");
-  config.server.gpus_per_switch = flags.GetInt("gpus_per_switch");
-  config.server.gpu.memory_bytes = static_cast<Bytes>(flags.GetDouble("gpu_memory_gib") *
-                                                      static_cast<double>(kGiB));
+  double gpu_memory_gib = 0.0;
+  if (!AssignFlag(flags.GetCheckedInt("gpus"), &config.server.num_gpus) ||
+      !AssignFlag(flags.GetCheckedInt("gpus_per_switch"), &config.server.gpus_per_switch) ||
+      !AssignFlag(flags.GetCheckedDouble("gpu_memory_gib"), &gpu_memory_gib) ||
+      !AssignFlag(flags.GetCheckedInt("microbatches"), &config.microbatches) ||
+      !AssignFlag(flags.GetCheckedInt("microbatch_size"), &config.microbatch_size) ||
+      !AssignFlag(flags.GetCheckedInt("iterations"), &config.iterations) ||
+      !AssignFlag(flags.GetCheckedInt("pack_size"), &config.pack_size) ||
+      !AssignFlag(flags.GetCheckedInt("group_size"), &config.group_size) ||
+      !AssignFlag(flags.GetCheckedInt("checkpoint_every"), &config.checkpoint_every) ||
+      !AssignFlag(flags.GetCheckedDouble("watchdog"), &config.watchdog_timeout)) {
+    return 2;
+  }
+  config.server.gpu.memory_bytes =
+      static_cast<Bytes>(gpu_memory_gib * static_cast<double>(kGiB));
   config.scheme = scheme.value();
-  config.microbatches = flags.GetInt("microbatches");
-  config.microbatch_size = flags.GetInt("microbatch_size");
-  config.iterations = flags.GetInt("iterations");
-  config.pack_size = flags.GetInt("pack_size");
-  config.group_size = flags.GetInt("group_size");
   config.recompute = flags.GetBool("recompute");
   config.prefetch = flags.GetBool("prefetch");
   config.grouping = flags.GetBool("grouping");
@@ -107,14 +136,24 @@ int Run(int argc, char** argv) {
   config.p2p = flags.GetBool("p2p");
   config.lookahead_eviction = flags.GetBool("lookahead_eviction");
   config.record_timeline = flags.GetBool("timeline") || !flags.Get("trace").empty();
+  if (!flags.Get("faults").empty()) {
+    const StatusOr<FaultPlan> faults = ParseFaultSpec(flags.Get("faults"));
+    if (!faults.ok()) {
+      std::cerr << faults.status().ToString() << "\n";
+      return 2;
+    }
+    config.faults = faults.value();
+  }
 
   if (flags.GetBool("tune")) {
     // Tuner mode: sweep the memory-performance tango knobs around the requested config and
     // report the profiled frontier instead of running one fixed schedule.
     TunerOptions options;
-    options.minibatch_samples = flags.GetInt("microbatches") * flags.GetInt("microbatch_size");
-    options.iterations = flags.GetInt("iterations");
-    options.num_threads = flags.GetInt("tuner_threads");
+    options.minibatch_samples = config.microbatches * config.microbatch_size;
+    options.iterations = config.iterations;
+    if (!AssignFlag(flags.GetCheckedInt("tuner_threads"), &options.num_threads)) {
+      return 2;
+    }
     std::cout << model.value().Summary() << "\n";
     const TunerResult tuned = TunePp(model.value(), config, options);
     std::cout << RenderTunerTable(tuned) << "\n";
@@ -122,6 +161,47 @@ int Run(int argc, char** argv) {
                 "samples/s\n",
                 tuned.best.pack_size, tuned.best.group_size, tuned.best.microbatch_size,
                 tuned.best.microbatches, tuned.best.throughput);
+    return 0;
+  }
+
+  // Surface bad configurations as messages + non-zero exit instead of HCHECK aborts.
+  const Status valid = ValidateSessionConfig(model.value(), config);
+  if (!valid.ok()) {
+    std::cerr << valid.ToString() << "\n";
+    return 1;
+  }
+
+  if (!config.faults.empty()) {
+    // Elastic mode: run with fault injection and recover onto survivors after fail-stops.
+    std::cout << model.value().Summary() << "\n";
+    std::cout << "fault plan: " << config.faults.ToString() << "\n\n";
+    const ElasticResult elastic = RunTrainingElastic(model.value(), config);
+    for (std::size_t i = 0; i < elastic.segments.size(); ++i) {
+      const RecoverySegment& seg = elastic.segments[i];
+      std::printf("segment %zu: %d gpu(s), iterations [%d, %d), completed %zu, makespan "
+                  "%.3f s%s\n",
+                  i, static_cast<int>(seg.gpus.size()), seg.start_iteration,
+                  seg.start_iteration + seg.iterations, seg.result.report.iterations.size(),
+                  seg.result.report.makespan,
+                  seg.result.report.failed
+                      ? (" — " + seg.result.report.failure_kind).c_str()
+                      : "");
+    }
+    std::cout << "\napplied faults:\n" << elastic.FaultTrace();
+    std::printf(
+        "\nrecovery: %d failure(s), lost work %.3f s, recovery latency %.3f s, re-swap "
+        "%s\ncheckpoints: %d committed (%s), completed %d/%d iterations, total makespan "
+        "%.3f s\n",
+        elastic.stats.failures, elastic.stats.lost_work_sec,
+        elastic.stats.recovery_latency_sec, FormatBytes(elastic.stats.reswap_bytes).c_str(),
+        elastic.checkpoints_committed, FormatBytes(elastic.checkpoint_bytes).c_str(),
+        elastic.completed_iterations, config.iterations, elastic.total_makespan);
+    if (!elastic.status.ok()) {
+      std::cerr << elastic.status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nfinal segment report:\n"
+              << elastic.final_segment().result.report.Summary() << "\n";
     return 0;
   }
 
