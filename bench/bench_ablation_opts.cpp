@@ -16,6 +16,8 @@
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
+#include "bench/bench_timer.h"
+
 namespace {
 
 harmony::SessionConfig BertConfig() {
@@ -57,6 +59,7 @@ void ReportBert(harmony::TablePrinter& table, const char* label, const harmony::
 }  // namespace
 
 int main() {
+  harmony::BenchWallClock wall_clock("bench_ablation_opts");
   using namespace harmony;
   std::cout << "=== Ablation 1: BERT-large, Harmony-PP on 4x 1080Ti (8 ubatches x 5) ===\n\n";
   const Model bert = MakeBertLarge();

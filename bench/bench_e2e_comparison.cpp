@@ -16,6 +16,8 @@
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
+#include "bench/bench_timer.h"
+
 namespace {
 
 struct Outcome {
@@ -46,6 +48,7 @@ Outcome RunBest(const char* name, const harmony::Model& model,
 }  // namespace
 
 int main() {
+  harmony::BenchWallClock wall_clock("bench_e2e_comparison");
   using namespace harmony;
   std::cout << "=== End-to-end: BERT-large on 4x 1080Ti (global minibatch 32 seqs) ===\n\n";
   const Model bert = MakeBertLarge();

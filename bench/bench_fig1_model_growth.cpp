@@ -10,7 +10,10 @@
 #include "src/util/table.h"
 #include "src/util/units.h"
 
+#include "bench/bench_timer.h"
+
 int main() {
+  harmony::BenchWallClock wall_clock("bench_fig1_model_growth");
   using namespace harmony;
   std::cout << "=== Fig. 1: model size growth (paper data) ===\n\n";
 

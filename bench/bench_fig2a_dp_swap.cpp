@@ -12,7 +12,10 @@
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
+#include "bench/bench_timer.h"
+
 int main() {
+  harmony::BenchWallClock wall_clock("bench_fig2a_dp_swap");
   using namespace harmony;
   std::cout << "=== Fig. 2(a): DP with per-GPU tensor swapping (BERT-large, batch 5/GPU) "
                "===\n\n";

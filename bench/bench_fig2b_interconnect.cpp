@@ -11,7 +11,10 @@
 #include "src/sim/simulator.h"
 #include "src/util/table.h"
 
+#include "bench/bench_timer.h"
+
 int main() {
+  harmony::BenchWallClock wall_clock("bench_fig2b_interconnect");
   using namespace harmony;
   std::cout << "=== Fig. 2(b): intra-server interconnect model ===\n\n";
 

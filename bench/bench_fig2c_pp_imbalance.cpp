@@ -10,7 +10,10 @@
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
+#include "bench/bench_timer.h"
+
 int main() {
+  harmony::BenchWallClock wall_clock("bench_fig2c_pp_imbalance");
   using namespace harmony;
   std::cout << "=== Fig. 2(c): PP with per-GPU tensor swapping (BERT-large, 4 stages, "
                "1F1B) ===\n\n";

@@ -12,7 +12,10 @@
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
+#include "bench/bench_timer.h"
+
 int main() {
+  harmony::BenchWallClock wall_clock("bench_fig4_schedule");
   using namespace harmony;
   std::cout << "=== Fig. 4: Harmony-PP toy schedule (4 layers, 2 GPUs, 2 microbatches) "
                "===\n\n";

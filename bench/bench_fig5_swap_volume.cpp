@@ -15,6 +15,8 @@
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
+#include "bench/bench_timer.h"
+
 namespace {
 
 harmony::Model AnalyticModel() {
@@ -48,6 +50,7 @@ double MeasuredUnits(harmony::Scheme scheme, int n, int m) {
 }  // namespace
 
 int main() {
+  harmony::BenchWallClock wall_clock("bench_fig5_swap_volume");
   using namespace harmony;
   const Model model = AnalyticModel();
   const double P = static_cast<double>(model.layer(0).cost.param_bytes);

@@ -1,0 +1,32 @@
+// Wall-clock reporter for the experiment benches: one stderr line per process so perf
+// regressions are visible in every run, without touching the byte-stable stdout tables
+// (the `golden` ctest label hashes stdout only; see tools/check_stdout_stable.sh).
+#ifndef HARMONY_BENCH_BENCH_TIMER_H_
+#define HARMONY_BENCH_BENCH_TIMER_H_
+
+#include <chrono>
+#include <cstdio>
+
+namespace harmony {
+
+class BenchWallClock {
+ public:
+  explicit BenchWallClock(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  BenchWallClock(const BenchWallClock&) = delete;
+  BenchWallClock& operator=(const BenchWallClock&) = delete;
+  ~BenchWallClock() {
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(stderr, "[bench] %s wall-clock: %.1f ms\n", name_, ms);
+  }
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_BENCH_BENCH_TIMER_H_

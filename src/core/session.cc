@@ -197,6 +197,7 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
     capacities.push_back(gpu.memory_bytes);
   }
   MemorySystem memory(&sim, &transfers, &registry, &machine.topology, capacities, policy);
+  memory.set_audit_eviction(config.audit_eviction);
   CollectiveEngine collective(&sim, &transfers);
 
   // Fail fast with a clear message when a single task cannot fit.

@@ -52,6 +52,9 @@ struct SessionConfig {
   // tensor whose next scheduled use is farthest away. Off by default so the analytic LRU
   // model stays exact; an ablation quantifies the win.
   bool lookahead_eviction = false;
+  // Cross-check every indexed eviction pick against the O(residents) reference scan (fatal
+  // on divergence). Testing hook for the randomized churn suite; far too slow for benches.
+  bool audit_eviction = false;
 
   // Engine knobs.
   bool prefetch = true;

@@ -62,7 +62,7 @@ MemoryManager::Acquisition MemoryManager::Acquire(WorkingSet set, bool best_effo
   pending.best_effort = best_effort;
   const Acquisition result{pending.handle, pending.ready};
   pending_.push_back(std::move(pending));
-  system_->SchedulePumpAll();
+  system_->SchedulePump(device_index_);
   return result;
 }
 
@@ -79,6 +79,9 @@ void MemoryManager::Release(AcquireHandle handle) {
       HCHECK_GT(s.pin_count, 0);
       --s.pin_count;
       s.lru_tick = reg.NextLruTick();
+      // The tensor may have been stolen by a peer while pinned; route the index update to
+      // whichever manager tracks it now.
+      system_->NoteTickChanged(id);
     }
   };
   unpin_all(it->second.set.fetch);
@@ -88,14 +91,17 @@ void MemoryManager::Release(AcquireHandle handle) {
     allocator_.Free(it->second.scratch_offset, it->second.set.scratch_bytes);
   }
   held_.erase(it);
-  system_->SchedulePumpAll();
+  system_->SchedulePump(device_index_);
 }
 
 void MemoryManager::MarkDirty(TensorId id) {
   TensorState& s = system_->registry().mutable_state(id);
   HCHECK(s.residency == Residency::kResident && s.device == device_index_)
       << "MarkDirty on non-resident tensor " << system_->registry().meta(id).name;
-  s.dirty = true;
+  if (!s.dirty) {
+    s.dirty = true;
+    LookaheadPush(id);  // the clean bit is part of the lookahead eviction key
+  }
 }
 
 bool MemoryManager::IsResidentHere(TensorId id) const {
@@ -129,13 +135,14 @@ void MemoryManager::FreeTensor(TensorId id) {
     HCHECK_EQ(s.device, device_index_);
     allocator_.Free(s.alloc_offset, reg.meta(id).bytes);
     resident_.erase(id);
+    IndexRemove(id);
   }
   s.residency = Residency::kDead;
   s.device = -1;
   s.host_valid = false;
   s.dirty = false;
   s.alloc_offset = -1;
-  system_->SchedulePumpAll();
+  system_->SchedulePump(device_index_);
 }
 
 bool MemoryManager::Satisfied(const Pending& p) const {
@@ -202,7 +209,9 @@ bool MemoryManager::PumpHead() {
   TensorRegistry& reg = system_->registry();
   auto touch_all = [&](const std::vector<TensorId>& ids) {
     for (TensorId id : ids) {
-      reg.mutable_state(id).lru_tick = reg.NextLruTick();
+      TensorState& s = reg.mutable_state(id);
+      s.lru_tick = reg.NextLruTick();
+      IndexTickChange(id);  // Satisfied() guarantees residency on this device
     }
   };
   touch_all(head.set.fetch);
@@ -236,7 +245,8 @@ MemoryManager::Progress MemoryManager::EnsureTensor(Pending& p, TensorId id,
   }
   if (s.residency == Residency::kSwappingOut ||
       (s.residency == Residency::kSwappingIn && s.device != device_index_)) {
-    return Progress::kOk;  // wait for the in-flight transfer, then re-evaluate
+    system_->MarkTensorWaiter(id, device_index_);
+    return Progress::kOk;  // the transfer's completion wakes this device to re-evaluate
   }
   HCHECK(s.residency != Residency::kDead) << "use of dead tensor " << meta.name;
 
@@ -265,6 +275,7 @@ MemoryManager::Progress MemoryManager::EnsureTensor(Pending& p, TensorId id,
     s.dirty = true;  // device copy is the only copy
     s.lru_tick = reg.NextLruTick();
     resident_.insert(id);
+    IndexAdd(id);
     NoteUsage();
     return Progress::kOk;
   }
@@ -299,6 +310,15 @@ void MemoryManager::CancelHead() {
       TensorState& s = reg.mutable_state(id);
       HCHECK_GT(s.pin_count, 0);
       --s.pin_count;
+      if (s.device >= 0) {
+        // The unpin may create an eviction candidate; the owner is re-pumped on the
+        // pump pass that follows this cancellation. Unlike Release there is no tick bump
+        // here, so the owner's heap needs an explicit push for the new candidate.
+        system_->MarkDeviceDirty(s.device);
+        if (s.pin_count == 0) {
+          system_->manager(s.device).LookaheadPush(id);
+        }
+      }
     }
   };
   unpin_all(head.set.fetch);
@@ -381,11 +401,9 @@ void MemoryManager::Defragment() {
   ++counters_.defrags;
 }
 
-bool MemoryManager::EvictOne() {
-  TensorRegistry& reg = system_->registry();
+TensorId MemoryManager::PickVictimByScan(const NextUseFn& oracle, bool lookahead) const {
+  const TensorRegistry& reg = system_->registry();
   TensorId victim = kInvalidTensor;
-  const bool lookahead = system_->policy().eviction == EvictionPolicy::kLookahead &&
-                         system_->next_use_oracle() != nullptr;
   if (lookahead) {
     // Belady with a write-back-cost tiebreak: among candidates, prefer (1) dead-and-clean
     // (a free drop), then (2) farthest next use, preferring clean over dirty on equal
@@ -401,7 +419,7 @@ bool MemoryManager::EvictOne() {
       if (s.residency != Residency::kResident || s.pin_count > 0) {
         continue;
       }
-      const std::uint64_t next = system_->next_use_oracle()(id, device_index_);
+      const std::uint64_t next = oracle(id, device_index_);
       const bool clean = !s.dirty && s.host_valid && drop_is_free;
       const bool better = [&] {
         if (victim == kInvalidTensor) {
@@ -441,6 +459,89 @@ bool MemoryManager::EvictOne() {
       }
     }
   }
+  return victim;
+}
+
+TensorId MemoryManager::PickVictimLru() const {
+  // Every tick bump moves the member to the tail with a fresh global-maximum tick, so the
+  // list holds kResident members in ascending lru_tick order and the first unpinned one is
+  // exactly the scan's min-tick pick. kSwappingIn members may sit out of order (they link
+  // at allocation with their pre-swap tick) but are skipped here and reposition on the
+  // landing tick bump.
+  const TensorRegistry& reg = system_->registry();
+  for (TensorId id = lru_head_; id != kInvalidTensor;
+       id = lru_next_[static_cast<std::size_t>(id)]) {
+    const TensorState& s = reg.state(id);
+    if (s.residency == Residency::kResident && s.pin_count == 0) {
+      return id;
+    }
+  }
+  return kInvalidTensor;
+}
+
+TensorId MemoryManager::PickVictimLookahead(const NextUseFn& oracle, bool drop_is_free) {
+  const TensorRegistry& reg = system_->registry();
+  constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+  lookahead_stash_.clear();
+  TensorId victim = kInvalidTensor;
+  bool rebuilt = false;
+  while (!lookahead_heap_.empty()) {
+    const LookaheadEntry top = lookahead_heap_.top();
+    lookahead_heap_.pop();
+    const TensorState& s = reg.state(top.id);
+    if (s.residency != Residency::kResident || s.device != device_index_ ||
+        s.lru_tick != top.lru_tick) {
+      continue;  // stale: the tensor left, or a tick bump pushed a newer key
+    }
+    const bool clean = !s.dirty && s.host_valid && drop_is_free;
+    if (clean != top.clean || top.free_drop != (clean && top.next_use == kNever)) {
+      continue;  // stale: MarkDirty pushed a newer key
+    }
+    if (oracle(top.id, device_index_) != top.next_use) {
+      // A distance changed without a tick bump: this oracle violates the push-on-change
+      // contract the lazy heap relies on (plan-derived oracles can't — a device only moves
+      // past a use while the used tensor is pinned, and the release tick-bump pushes a
+      // fresh key — but hand-rolled oracles may drift freely). Self-heal by re-deriving
+      // every key; after the rebuild all keys are current, so one pass suffices and the
+      // pick is exact for any oracle, at reference-scan cost.
+      HCHECK(!rebuilt) << "lookahead oracle drifted twice during one victim pick";
+      RebuildLookaheadIndex();
+      lookahead_stash_.clear();
+      rebuilt = true;
+      continue;
+    }
+    if (s.pin_count > 0) {
+      lookahead_stash_.push_back(top);  // key is current, just not evictable right now
+      continue;
+    }
+    victim = top.id;
+    break;
+  }
+  for (const LookaheadEntry& entry : lookahead_stash_) {
+    lookahead_heap_.push(entry);
+  }
+  lookahead_stash_.clear();
+  return victim;
+}
+
+bool MemoryManager::EvictOne() {
+  TensorRegistry& reg = system_->registry();
+  const MemoryPolicy& policy = system_->policy();
+  const NextUseFn& oracle = system_->next_use_oracle();
+  const bool lookahead = policy.eviction == EvictionPolicy::kLookahead && oracle != nullptr;
+  TensorId victim;
+  if (system_->reference_scan_eviction()) {
+    victim = PickVictimByScan(oracle, lookahead);
+  } else {
+    victim = lookahead ? PickVictimLookahead(oracle, !policy.write_back_clean)
+                       : PickVictimLru();
+    if (system_->audit_eviction()) {
+      const TensorId reference = PickVictimByScan(oracle, lookahead);
+      HCHECK_EQ(victim, reference)
+          << "indexed victim selection diverged from the reference scan on device "
+          << device_index_;
+    }
+  }
   if (victim == kInvalidTensor) {
     return false;
   }
@@ -449,10 +550,11 @@ bool MemoryManager::EvictOne() {
   const TensorMeta& meta = reg.meta(victim);
   ++counters_.evictions;
 
-  const bool can_drop = !s.dirty && s.host_valid && !system_->policy().write_back_clean;
+  const bool can_drop = !s.dirty && s.host_valid && !policy.write_back_clean;
   if (can_drop) {
     allocator_.Free(s.alloc_offset, meta.bytes);
     resident_.erase(victim);
+    IndexRemove(victim);
     s.residency = Residency::kNone;
     s.device = -1;
     s.alloc_offset = -1;
@@ -473,13 +575,15 @@ bool MemoryManager::EvictOne() {
     HCHECK(state.residency == Residency::kSwappingOut);
     allocator_.Free(state.alloc_offset, m.bytes);
     resident_.erase(victim);
+    IndexRemove(victim);
     state.residency = Residency::kNone;
     state.device = -1;
     state.alloc_offset = -1;
     state.host_valid = true;
     state.dirty = false;
     --evictions_in_flight_;
-    system_->SchedulePumpAll();
+    system_->SchedulePump(device_index_);
+    system_->WakeTensorWaiters(victim);
   });
   return true;
 }
@@ -492,6 +596,7 @@ void MemoryManager::BeginSwapIn(TensorId id, Bytes offset) {
   s.device = device_index_;
   s.alloc_offset = offset;
   resident_.insert(id);
+  IndexAdd(id);
   counters_.swap_in[static_cast<int>(meta.cls)] += meta.bytes;
   NoteUsage();
   OneShotEvent* done = system_->transfers().StartTransfer(host_node_, device_node_, meta.bytes,
@@ -503,7 +608,9 @@ void MemoryManager::BeginSwapIn(TensorId id, Bytes offset) {
     state.residency = Residency::kResident;
     state.dirty = false;
     state.lru_tick = registry.NextLruTick();
-    system_->SchedulePumpAll();
+    IndexTickChange(id);
+    system_->SchedulePump(device_index_);
+    system_->WakeTensorWaiters(id);
   });
 }
 
@@ -520,11 +627,16 @@ void MemoryManager::BeginPeerFetch(TensorId id, Bytes offset, MemoryManager* pee
   // in the simulation, since data never physically exists) that keeps no raw offsets alive
   // across defragmentation.
   peer->resident_.erase(id);
+  peer->IndexRemove(id);
   peer->allocator_.Free(peer_offset, meta.bytes);
+  // The peer just gained free memory; its wakeup rides the pump pass already in progress
+  // (peer fetches only start from inside a pump), exactly like the pre-indexed full sweep.
+  system_->MarkDeviceDirty(peer->device_index_);
   s.residency = Residency::kSwappingIn;
   s.device = device_index_;
   s.alloc_offset = offset;
   resident_.insert(id);
+  IndexAdd(id);
   counters_.p2p_in[static_cast<int>(meta.cls)] += meta.bytes;
   NoteUsage();
 
@@ -536,7 +648,9 @@ void MemoryManager::BeginPeerFetch(TensorId id, Bytes offset, MemoryManager* pee
     HCHECK(state.residency == Residency::kSwappingIn);
     state.residency = Residency::kResident;
     state.lru_tick = registry.NextLruTick();
-    system_->SchedulePumpAll();
+    IndexTickChange(id);
+    system_->SchedulePump(device_index_);
+    system_->WakeTensorWaiters(id);
   });
 }
 
@@ -552,7 +666,7 @@ void MemoryManager::BeginStagedFetchFromPeer(TensorId id, MemoryManager* peer) {
         pending.issued.erase(id);
       }
     }
-    system_->SchedulePumpAll();
+    system_->SchedulePump(device_index_);
   };
 
   if (!s.dirty && s.host_valid) {
@@ -560,9 +674,11 @@ void MemoryManager::BeginStagedFetchFromPeer(TensorId id, MemoryManager* peer) {
     // still differs from p2p: the data must be *re-uploaded* from host over the uplink.
     peer->allocator_.Free(s.alloc_offset, meta.bytes);
     peer->resident_.erase(id);
+    peer->IndexRemove(id);
     s.residency = Residency::kNone;
     s.device = -1;
     s.alloc_offset = -1;
+    system_->MarkDeviceDirty(peer->device_index_);  // freed memory; rides release_issue's pump
     release_issue();
     return;
   }
@@ -579,18 +695,169 @@ void MemoryManager::BeginStagedFetchFromPeer(TensorId id, MemoryManager* peer) {
     HCHECK(state.residency == Residency::kSwappingOut);
     peer->allocator_.Free(state.alloc_offset, m.bytes);
     peer->resident_.erase(id);
+    peer->IndexRemove(id);
     state.residency = Residency::kNone;
     state.device = -1;
     state.alloc_offset = -1;
     state.host_valid = true;
     state.dirty = false;
     --peer->evictions_in_flight_;
+    system_->SchedulePump(peer->device_index_);
+    system_->WakeTensorWaiters(id);
     release_issue();
   });
 }
 
 void MemoryManager::NoteUsage() {
   counters_.high_water = std::max(counters_.high_water, allocator_.used_bytes());
+}
+
+// ---- Indexed victim selection maintenance --------------------------------------------------
+
+void MemoryManager::LruLink(TensorId id) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  if (idx >= lru_linked_.size()) {
+    lru_prev_.resize(idx + 1, kInvalidTensor);
+    lru_next_.resize(idx + 1, kInvalidTensor);
+    lru_linked_.resize(idx + 1, 0);
+  }
+  HCHECK(lru_linked_[idx] == 0) << "tensor " << id << " double-linked on device "
+                                << device_index_;
+  lru_linked_[idx] = 1;
+  ++lru_size_;
+  lru_prev_[idx] = lru_tail_;
+  lru_next_[idx] = kInvalidTensor;
+  if (lru_tail_ != kInvalidTensor) {
+    lru_next_[static_cast<std::size_t>(lru_tail_)] = id;
+  } else {
+    lru_head_ = id;
+  }
+  lru_tail_ = id;
+}
+
+void MemoryManager::LruUnlink(TensorId id) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  HCHECK(idx < lru_linked_.size() && lru_linked_[idx] != 0)
+      << "eviction index out of sync: tensor " << id << " not linked on device "
+      << device_index_;
+  lru_linked_[idx] = 0;
+  --lru_size_;
+  const TensorId prev = lru_prev_[idx];
+  const TensorId next = lru_next_[idx];
+  if (prev != kInvalidTensor) {
+    lru_next_[static_cast<std::size_t>(prev)] = next;
+  } else {
+    lru_head_ = next;
+  }
+  if (next != kInvalidTensor) {
+    lru_prev_[static_cast<std::size_t>(next)] = prev;
+  } else {
+    lru_tail_ = prev;
+  }
+}
+
+void MemoryManager::IndexAdd(TensorId id) {
+  LruLink(id);
+  LookaheadPush(id);  // no-op for kSwappingIn members; their landing tick-bump pushes
+}
+
+void MemoryManager::IndexRemove(TensorId id) {
+  LruUnlink(id);
+  // Any heap entries for `id` are now stale and get discarded when they surface.
+}
+
+void MemoryManager::IndexTickChange(TensorId id) {
+  // The new tick is a fresh global maximum, so move-to-back keeps ascending-tick order.
+  LruUnlink(id);
+  LruLink(id);
+  LookaheadPush(id);
+}
+
+void MemoryManager::LookaheadPush(TensorId id) {
+  if (system_->policy().eviction != EvictionPolicy::kLookahead) {
+    return;
+  }
+  const NextUseFn& oracle = system_->next_use_oracle();
+  if (oracle == nullptr) {
+    return;  // SetNextUseOracle rebuilds the heap when one arrives
+  }
+  const TensorState& s = system_->registry().state(id);
+  if (s.residency != Residency::kResident) {
+    return;  // only kResident tensors are candidates; in-flight ones push on landing
+  }
+  if (s.pin_count > 0) {
+    // Not a candidate, and the unpin that makes it one bumps the tick (Release) or pushes
+    // explicitly (CancelHead), so a current key will exist the moment it matters. Grant
+    // touches in particular would otherwise flood the heap with born-stale entries.
+    return;
+  }
+  const bool drop_is_free = !system_->policy().write_back_clean;
+  const bool clean = !s.dirty && s.host_valid && drop_is_free;
+  const std::uint64_t next = oracle(id, device_index_);
+  constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+  lookahead_heap_.push(LookaheadEntry{clean && next == kNever, next, clean, s.lru_tick, id});
+}
+
+void MemoryManager::RebuildLookaheadIndex() {
+  lookahead_heap_ = decltype(lookahead_heap_){};
+  for (TensorId id : resident_) {
+    LookaheadPush(id);
+  }
+}
+
+std::string MemoryManager::DebugCheckIndexConsistency() const {
+  const TensorRegistry& reg = system_->registry();
+  if (lru_size_ != resident_.size()) {
+    return "device " + std::to_string(device_index_) + ": LRU list size " +
+           std::to_string(lru_size_) + " != resident_ size " +
+           std::to_string(resident_.size());
+  }
+  // Walk the list: every member must be tracked in resident_, and kResident members must
+  // appear in strictly ascending lru_tick order (the PickVictimLru correctness invariant).
+  std::size_t walked = 0;
+  std::uint64_t last_resident_tick = 0;
+  TensorId prev = kInvalidTensor;
+  for (TensorId id = lru_head_; id != kInvalidTensor;
+       id = lru_next_[static_cast<std::size_t>(id)]) {
+    if (++walked > lru_size_) {
+      return "device " + std::to_string(device_index_) + ": LRU list is cyclic";
+    }
+    if (lru_prev_[static_cast<std::size_t>(id)] != prev) {
+      return "device " + std::to_string(device_index_) + ": LRU back-link of tensor " +
+             std::to_string(id) + " is broken";
+    }
+    if (resident_.count(id) == 0) {
+      return "device " + std::to_string(device_index_) + ": LRU member " +
+             std::to_string(id) + " is not tracked as resident";
+    }
+    const TensorState& s = reg.state(id);
+    if (s.residency == Residency::kResident) {
+      if (s.lru_tick <= last_resident_tick && last_resident_tick != 0) {
+        return "device " + std::to_string(device_index_) + ": LRU order violated at tensor " +
+               std::to_string(id) + " (tick " + std::to_string(s.lru_tick) +
+               " after tick " + std::to_string(last_resident_tick) + ")";
+      }
+      last_resident_tick = s.lru_tick;
+    }
+    prev = id;
+  }
+  if (walked != lru_size_) {
+    return "device " + std::to_string(device_index_) + ": LRU list walk saw " +
+           std::to_string(walked) + " members, expected " + std::to_string(lru_size_);
+  }
+  for (TensorId id : resident_) {
+    const TensorState& s = reg.state(id);
+    if (s.device != device_index_) {
+      return "device " + std::to_string(device_index_) + ": resident tensor " +
+             std::to_string(id) + " claims device " + std::to_string(s.device);
+    }
+    const std::size_t idx = static_cast<std::size_t>(id);
+    if (idx >= lru_linked_.size() || lru_linked_[idx] == 0) {
+      return "device " + std::to_string(device_index_) + ": resident tensor " +
+             std::to_string(id) + " missing from the LRU list";
+    }
+  }
+  return "";
 }
 
 // ---- MemorySystem --------------------------------------------------------------------------
@@ -609,26 +876,98 @@ MemorySystem::MemorySystem(Simulator* sim, TransferManager* transfers, TensorReg
         this, g, topology->gpu_node(g), topology->HostNodeForGpu(g),
         gpu_capacities[static_cast<std::size_t>(g)]));
   }
+  dirty_.assign(gpu_capacities.size(), 0);
+}
+
+void MemorySystem::SetNextUseOracle(NextUseFn oracle) {
+  next_use_ = std::move(oracle);
+  // Heap keys embed oracle answers, so a new oracle invalidates every entry wholesale.
+  for (auto& manager : managers_) {
+    manager->RebuildLookaheadIndex();
+  }
 }
 
 void MemorySystem::SchedulePumpAll() {
+  for (char& d : dirty_) {
+    d = 1;
+  }
+  EnsurePumpScheduled();
+}
+
+void MemorySystem::SchedulePump(int device) {
+  MarkDeviceDirty(device);
+  EnsurePumpScheduled();
+}
+
+void MemorySystem::MarkDeviceDirty(int device) {
+  dirty_[static_cast<std::size_t>(device)] = 1;
+}
+
+void MemorySystem::MarkTensorWaiter(TensorId id, int device) {
+  if (num_devices() > 64) {
+    return;  // bitmask overflow: WakeTensorWaiters falls back to waking everyone
+  }
+  const std::size_t idx = static_cast<std::size_t>(id);
+  if (idx >= tensor_waiters_.size()) {
+    tensor_waiters_.resize(idx + 1, 0);
+  }
+  tensor_waiters_[idx] |= std::uint64_t{1} << static_cast<unsigned>(device);
+}
+
+void MemorySystem::WakeTensorWaiters(TensorId id) {
+  if (num_devices() > 64) {
+    SchedulePumpAll();
+    return;
+  }
+  const std::size_t idx = static_cast<std::size_t>(id);
+  if (idx >= tensor_waiters_.size() || tensor_waiters_[idx] == 0) {
+    return;
+  }
+  std::uint64_t mask = tensor_waiters_[idx];
+  tensor_waiters_[idx] = 0;
+  for (int d = 0; mask != 0; ++d, mask >>= 1) {
+    if ((mask & 1) != 0) {
+      SchedulePump(d);
+    }
+  }
+}
+
+void MemorySystem::NoteTickChanged(TensorId id) {
+  const TensorState& s = registry_->state(id);
+  if (s.device < 0) {
+    return;  // kNone/kDead: no device index tracks it
+  }
+  managers_[static_cast<std::size_t>(s.device)]->IndexTickChange(id);
+  MarkDeviceDirty(s.device);
+}
+
+void MemorySystem::EnsurePumpScheduled() {
   if (pump_scheduled_) {
     return;
   }
   pump_scheduled_ = true;
   sim_->ScheduleAfter(0.0, [this] {
     pump_scheduled_ = false;
-    PumpAll();
+    PumpDirty();
   });
 }
 
-void MemorySystem::PumpAll() {
+void MemorySystem::PumpDirty() {
   // Keep pumping until no device makes progress; a grant on one device can unblock another
-  // (e.g. a p2p source became free).
+  // (e.g. a p2p source became free). Only devices whose state changed since their last pump
+  // are examined: PumpHead on unchanged state is a side-effect-free no-op, so skipping
+  // clean devices preserves the exact grant order of the original full sweep. Bits set
+  // without a pass of progress persist to the next scheduled pump, which is exactly when
+  // the full sweep would next have examined those devices anyway.
   bool progress = true;
   while (progress) {
     progress = false;
     for (auto& manager : managers_) {
+      const std::size_t d = static_cast<std::size_t>(manager->device_index_);
+      if (dirty_[d] == 0) {
+        continue;
+      }
+      dirty_[d] = 0;
       while (manager->PumpHead()) {
         progress = true;
       }
@@ -651,6 +990,16 @@ Status MemorySystem::CheckQuiescent() const {
     if (manager->evictions_in_flight_ != 0) {
       return InternalError("device " + std::to_string(manager->device_index_) +
                            " has write-backs in flight after the run");
+    }
+    if (!manager->cancelled_.empty()) {
+      return InternalError("device " + std::to_string(manager->device_index_) + " has " +
+                           std::to_string(manager->cancelled_.size()) +
+                           " unreleased cancelled acquisitions after the run (best-effort "
+                           "handles must still be Release()d, or the set grows forever)");
+    }
+    const std::string index_drift = manager->DebugCheckIndexConsistency();
+    if (!index_drift.empty()) {
+      return InternalError("eviction index out of sync after the run: " + index_drift);
     }
   }
   for (TensorId id = 0; id < registry_->size(); ++id) {

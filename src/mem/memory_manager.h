@@ -20,7 +20,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/hw/transfer_manager.h"
@@ -74,6 +77,15 @@ struct WorkingSet {
 };
 
 class MemorySystem;
+
+// Next-use oracle for lookahead eviction: returns the position (monotone per device) of the
+// next task on `device` that touches `tensor`, or a huge sentinel when it is never used
+// again. Installed by the engine, which knows the plan. The indexed eviction fast path
+// assumes a distance only changes while the tensor is pinned or off-device (true for any
+// plan-derived oracle: a device advances past a use only while the using task holds its
+// pins, and the release tick-bump refreshes the key). Oracles that drift outside that
+// contract stay correct but pay a heap rebuild per drifting victim pick.
+using NextUseFn = std::function<std::uint64_t(TensorId tensor, int device)>;
 
 class MemoryManager {
  public:
@@ -169,6 +181,60 @@ class MemoryManager {
   void BeginStagedFetchFromPeer(TensorId id, MemoryManager* peer);
   void NoteUsage();
 
+  // ---- Indexed victim selection (DESIGN.md §5, "Indexed eviction") ----
+  // Heap entry for the lookahead policy, keyed by the reference scan's exact tie-break
+  // tuple. Entries are never updated in place: every key change pushes a fresh entry and
+  // the stale one is discarded when it surfaces (lazy invalidation).
+  struct LookaheadEntry {
+    bool free_drop;  // clean && never used again: evicting costs nothing
+    std::uint64_t next_use;
+    bool clean;
+    std::uint64_t lru_tick;
+    TensorId id;
+  };
+  // "Worse-than" order so the priority queue's top is the scan's unique winner (lru_tick is
+  // unique across kResident tensors, so there are no cross-tensor key ties).
+  struct LookaheadWorse {
+    bool operator()(const LookaheadEntry& a, const LookaheadEntry& b) const {
+      if (a.free_drop != b.free_drop) {
+        return b.free_drop;
+      }
+      if (a.next_use != b.next_use) {
+        return a.next_use < b.next_use;
+      }
+      if (a.clean != b.clean) {
+        return b.clean;
+      }
+      return a.lru_tick > b.lru_tick;
+    }
+  };
+
+  // Index maintenance. Every resident_ insert/erase and every lru_tick change of a member
+  // must go through these, or indexed victim selection diverges from the reference scan.
+  void IndexAdd(TensorId id);
+  void IndexRemove(TensorId id);
+  void IndexTickChange(TensorId id);
+  // Intrusive-list primitives: O(1), allocation-free (tick bumps are the hot path — the
+  // tuner sweep does ~14 of them per eviction).
+  void LruLink(TensorId id);    // append at the tail (the fresh-tick end)
+  void LruUnlink(TensorId id);
+  // Pushes a fresh lookahead key for `id` (no-op unless the policy is kLookahead, an oracle
+  // is installed, and `id` is kResident here). Duplicates are harmless.
+  void LookaheadPush(TensorId id);
+  // Drops and re-derives the lookahead heap from resident_ (oracle install / replacement).
+  void RebuildLookaheadIndex();
+  TensorId PickVictimLru() const;
+  TensorId PickVictimLookahead(const NextUseFn& oracle, bool drop_is_free);
+  // The original O(residents) scan, kept as the audit / benchmark baseline.
+  TensorId PickVictimByScan(const NextUseFn& oracle, bool lookahead) const;
+
+ public:
+  // Returns "" when the LRU list exactly mirrors resident_ (size, membership, ascending
+  // ticks among kResident members), else a description of the first divergence. Test hook.
+  std::string DebugCheckIndexConsistency() const;
+
+ private:
+
   MemorySystem* system_;
   int device_index_;
   NodeId device_node_;
@@ -182,6 +248,22 @@ class MemoryManager {
   std::set<TensorId> resident_;  // tensors whose allocation lives on this device
   int evictions_in_flight_ = 0;
   AcquireHandle next_handle_ = 1;
+
+  // Intrusive doubly-linked LRU list over exactly the members of resident_. Every lru_tick
+  // bump assigns a fresh global maximum (NextLruTick is a global monotone counter) and
+  // moves the tensor to the tail, so kResident members always sit in ascending-tick order
+  // and the head-side walk in PickVictimLru finds the reference scan's min-tick pick.
+  // kSwappingIn members may be linked out of tick order (they join with a pre-assigned
+  // tick), but they are never candidates and land with a tick bump that repositions them.
+  std::vector<TensorId> lru_prev_;   // indexed by tensor id; kInvalidTensor = list end
+  std::vector<TensorId> lru_next_;
+  std::vector<char> lru_linked_;     // membership guard for the index invariants
+  TensorId lru_head_ = kInvalidTensor;
+  TensorId lru_tail_ = kInvalidTensor;
+  std::size_t lru_size_ = 0;
+  std::priority_queue<LookaheadEntry, std::vector<LookaheadEntry>, LookaheadWorse>
+      lookahead_heap_;
+  std::vector<LookaheadEntry> lookahead_stash_;  // current-but-pinned entries parked mid-pop
 };
 
 class MemorySystem {
@@ -204,15 +286,25 @@ class MemorySystem {
   TransferManager& transfers() { return *transfers_; }
   const Topology& topology() const { return *topology_; }
 
-  // Next-use oracle for lookahead eviction: returns the position (monotone per device) of
-  // the next task on `device` that touches `tensor`, or a huge sentinel when it is never
-  // used again. Installed by the engine, which knows the plan.
-  using NextUseFn = std::function<std::uint64_t(TensorId tensor, int device)>;
-  void SetNextUseOracle(NextUseFn oracle) { next_use_ = std::move(oracle); }
+  // See the namespace-scope NextUseFn above. Installing (or replacing) the oracle rebuilds
+  // every manager's lookahead index, since heap keys embed oracle answers.
+  using NextUseFn = harmony::NextUseFn;
+  void SetNextUseOracle(NextUseFn oracle);
   const NextUseFn& next_use_oracle() const { return next_use_; }
 
   // Coalesced "something changed, re-examine pending requests on every device" signal.
+  // Internally the system tracks a per-device dirty set, so only managers whose state
+  // actually changed get pumped; this entry point conservatively marks all of them.
   void SchedulePumpAll();
+
+  // Victim-selection audit: cross-check every indexed pick against the reference scan
+  // (fatal on divergence). For randomized churn tests; too slow for benches.
+  void set_audit_eviction(bool on) { audit_eviction_ = on; }
+  bool audit_eviction() const { return audit_eviction_; }
+  // Forces the O(residents) reference scan for victim selection — the baseline arm of
+  // BM_EvictionChurn. Index maintenance still runs so the comparison is honest.
+  void set_reference_scan_eviction(bool on) { reference_scan_eviction_ = on; }
+  bool reference_scan_eviction() const { return reference_scan_eviction_; }
 
   // Allocates a completion event owned by the system (for staged multi-hop fetches).
   OneShotEvent* NewEvent();
@@ -231,7 +323,20 @@ class MemorySystem {
 
  private:
   friend class MemoryManager;
-  void PumpAll();
+  // Dirty-device pump. SchedulePump marks one device and guarantees a zero-delay pump
+  // event; MarkDeviceDirty only sets the bit, for state changes whose wakeup rode an
+  // already-guaranteed future pump in the pre-indexed code (keeping the event schedule —
+  // and therefore every bench's stdout — byte-identical).
+  void SchedulePump(int device);
+  void MarkDeviceDirty(int device);
+  // Devices that saw a tensor in flight while pumping record themselves as waiters; the
+  // transfer's completion wakes exactly those devices (all of them past 64 GPUs).
+  void MarkTensorWaiter(TensorId id, int device);
+  void WakeTensorWaiters(TensorId id);
+  // Routes an lru_tick change to the owning manager's indexes and marks it dirty.
+  void NoteTickChanged(TensorId id);
+  void EnsurePumpScheduled();
+  void PumpDirty();
 
   Simulator* sim_;
   TransferManager* transfers_;
@@ -242,6 +347,10 @@ class MemorySystem {
   NextUseFn next_use_;
   std::vector<std::unique_ptr<OneShotEvent>> events_;
   bool pump_scheduled_ = false;
+  std::vector<char> dirty_;                     // per-device "pump me" bits
+  std::vector<std::uint64_t> tensor_waiters_;   // per-tensor bitmask of waiting devices
+  bool audit_eviction_ = false;
+  bool reference_scan_eviction_ = false;
 };
 
 }  // namespace harmony

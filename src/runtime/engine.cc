@@ -47,7 +47,7 @@ Engine::Engine(Simulator* sim, const Machine* machine, MemorySystem* memory,
       const Task& task = plan->tasks[static_cast<std::size_t>(order[pos])];
       auto note = [&](const std::vector<TensorId>& ids) {
         for (TensorId id : ids) {
-          next_use_index_[static_cast<std::size_t>(d)][id].push_back(pos);
+          next_use_index_[static_cast<std::size_t>(d)].AddUse(id, pos);
         }
       };
       note(task.working_set.fetch);
@@ -56,17 +56,8 @@ Engine::Engine(Simulator* sim, const Machine* machine, MemorySystem* memory,
     }
   }
   memory->SetNextUseOracle([this](TensorId tensor, int device) -> std::uint64_t {
-    const auto& index = next_use_index_[static_cast<std::size_t>(device)];
-    auto it = index.find(tensor);
-    if (it == index.end()) {
-      return std::numeric_limits<std::uint64_t>::max();
-    }
-    const std::uint64_t now_pos = devices_[static_cast<std::size_t>(device)].next_index;
-    const auto next = std::lower_bound(it->second.begin(), it->second.end(), now_pos);
-    if (next == it->second.end()) {
-      return std::numeric_limits<std::uint64_t>::max();
-    }
-    return *next;
+    return next_use_index_[static_cast<std::size_t>(device)].NextUseAtOrAfter(
+        tensor, devices_[static_cast<std::size_t>(device)].next_index);
   });
 }
 

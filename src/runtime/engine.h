@@ -26,6 +26,7 @@
 #include "src/mem/memory_manager.h"
 #include "src/runtime/collective.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/next_use.h"
 #include "src/sim/simulator.h"
 
 namespace harmony {
@@ -120,9 +121,9 @@ class Engine {
   Snapshot last_snapshot_;
   double last_iteration_end_ = 0.0;
 
-  // Per device: tensor -> ascending queue positions of tasks touching it (for the
-  // lookahead-eviction oracle).
-  std::vector<std::map<TensorId, std::vector<std::uint64_t>>> next_use_index_;
+  // Per device: each tensor's ascending queue positions with a monotone cursor (the
+  // lookahead-eviction oracle answers in O(1) amortized; see next_use.h).
+  std::vector<NextUseIndex> next_use_index_;
 
   std::vector<double> device_busy_;
   std::vector<TaskTrace> timeline_;

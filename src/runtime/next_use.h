@@ -1,0 +1,66 @@
+// Amortized-O(1) next-use oracle backing store for one device.
+//
+// The lookahead eviction policy asks "when does `tensor` next run on this device?" once per
+// candidate considered, so the old map-find + lower_bound lookup (O(log n) with a cold cache
+// walk) sat on the hottest path in the system. Both sides of the query are monotone — use
+// positions are appended in schedule order at build time, and the engine's `next_index` only
+// advances — so a per-tensor cursor that walks each use list forward answers every query in
+// O(1) amortized: each list position is consumed at most once over the run's lifetime.
+//
+// Contract (checked): AddUse positions are nondecreasing per tensor, and query positions are
+// nondecreasing across calls. Rewinding a cursor would require rebuilding the index.
+#ifndef HARMONY_SRC_RUNTIME_NEXT_USE_H_
+#define HARMONY_SRC_RUNTIME_NEXT_USE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/mem/tensor.h"
+#include "src/util/logging.h"
+
+namespace harmony {
+
+class NextUseIndex {
+ public:
+  static constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+  // Records that the task at queue position `pos` touches `id`. Build-time only; positions
+  // must arrive in nondecreasing order per tensor (schedule order guarantees this).
+  void AddUse(TensorId id, std::uint64_t pos) {
+    const std::size_t idx = static_cast<std::size_t>(id);
+    if (idx >= uses_.size()) {
+      uses_.resize(idx + 1);
+      cursor_.resize(idx + 1, 0);
+    }
+    HCHECK(uses_[idx].empty() || uses_[idx].back() <= pos)
+        << "next-use positions must be appended in order (tensor " << id << ")";
+    uses_[idx].push_back(pos);
+  }
+
+  // First use of `id` at or after `pos`, or kNever. `pos` must be nondecreasing across
+  // calls (the device's next_index never rewinds).
+  std::uint64_t NextUseAtOrAfter(TensorId id, std::uint64_t pos) {
+    HCHECK_GE(pos, last_query_pos_) << "next-use cursor cannot rewind";
+    last_query_pos_ = pos;
+    const std::size_t idx = static_cast<std::size_t>(id);
+    if (idx >= uses_.size()) {
+      return kNever;
+    }
+    const std::vector<std::uint64_t>& list = uses_[idx];
+    std::size_t& c = cursor_[idx];
+    while (c < list.size() && list[c] < pos) {
+      ++c;
+    }
+    return c < list.size() ? list[c] : kNever;
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> uses_;  // indexed by TensorId, ascending positions
+  std::vector<std::size_t> cursor_;               // first not-yet-consumed position per list
+  std::uint64_t last_query_pos_ = 0;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_SRC_RUNTIME_NEXT_USE_H_

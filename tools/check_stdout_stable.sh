@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Golden-stdout determinism gate (ctest label: golden).
+#
+# The experiment benches must produce byte-identical stdout on every run and across code
+# changes that claim to be performance-only (stderr is exempt: wall-clock diagnostics live
+# there). This script runs each golden bench TWICE — catching nondeterminism within one
+# build (iteration-order leaks, uninitialized reads, time-dependent output) — and compares
+# the hash against the committed manifest, catching semantic drift against the recorded
+# baseline.
+#
+# Usage: check_stdout_stable.sh <bench_dir> [manifest]
+#   bench_dir  directory holding the built bench binaries (e.g. build/bench)
+#   manifest   golden sha256 list (default: tools/golden_stdout.sha256 next to this script)
+#
+# To regenerate the manifest after an intentional output change:
+#   cd <scratch>; for b in <benches>; do <bench_dir>/$b > $b.stdout; done
+#   sha256sum *.stdout > tools/golden_stdout.sha256
+set -u
+
+bench_dir=${1:?usage: check_stdout_stable.sh <bench_dir> [manifest]}
+script_dir=$(cd "$(dirname "$0")" && pwd)
+manifest=${2:-"$script_dir/golden_stdout.sha256"}
+
+benches=(
+  bench_fig1_model_growth
+  bench_fig2a_dp_swap
+  bench_fig2b_interconnect
+  bench_fig2c_pp_imbalance
+  bench_fig4_schedule
+  bench_fig5_swap_volume
+  bench_ablation_opts
+  bench_e2e_comparison
+)
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail=0
+for bench in "${benches[@]}"; do
+  bin="$bench_dir/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "FAIL $bench: binary not found at $bin (build first)"
+    fail=1
+    continue
+  fi
+  if ! "$bin" > "$workdir/$bench.stdout" 2> /dev/null; then
+    echo "FAIL $bench: run 1 exited non-zero"
+    fail=1
+    continue
+  fi
+  if ! "$bin" > "$workdir/$bench.run2" 2> /dev/null; then
+    echo "FAIL $bench: run 2 exited non-zero"
+    fail=1
+    continue
+  fi
+  if ! cmp -s "$workdir/$bench.stdout" "$workdir/$bench.run2"; then
+    echo "FAIL $bench: stdout differs between two runs of the same binary"
+    fail=1
+    continue
+  fi
+  echo "OK   $bench: two runs byte-identical"
+done
+
+if [[ -f "$manifest" ]]; then
+  # sha256sum -c wants the hashed filenames relative to the cwd.
+  if (cd "$workdir" && sha256sum -c --quiet "$manifest"); then
+    echo "OK   all stdout hashes match the committed manifest"
+  else
+    echo "FAIL stdout drifted from the committed golden manifest ($manifest);"
+    echo "     if the change is intentional, regenerate it (see header comment)"
+    fail=1
+  fi
+else
+  echo "WARN no golden manifest at $manifest — ran the two-run stability check only"
+fi
+
+exit $fail
