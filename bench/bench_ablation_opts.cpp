@@ -42,6 +42,8 @@ void ReportBert(harmony::TablePrinter& table, const char* label, const harmony::
                 const harmony::SessionConfig& config) {
   using namespace harmony;
   const RunReport report = ProfileTraining(model, config);
+  // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+  std::fprintf(stderr, "[explain] %s: %s\n", label, Attribute(report).Summary().c_str());
   const auto& it = report.iterations[1];
   const double state =
       ClassSwapUnits(it, TensorClass::kWeight, kGB) +
@@ -124,6 +126,8 @@ int main() {
     config.grouping = grouping;
     config.jit_updates = jit;
     const RunReport report = ProfileTraining(uniform, config);
+    // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+    std::fprintf(stderr, "[explain] %s: %s\n", label, Attribute(report).Summary().c_str());
     const auto& it = report.iterations[1];
     const double w = ClassSwapUnits(it, TensorClass::kWeight, unit);
     const double g = ClassSwapUnits(it, TensorClass::kWeightGrad, unit);

@@ -37,6 +37,9 @@ Outcome RunBest(const char* name, const harmony::Model& model,
       continue;  // infeasible point
     }
     outcomes.push_back(Outcome{std::string(name) + suffix, ProfileTraining(model, config)});
+    // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+    std::fprintf(stderr, "[explain] %s: %s\n", outcomes.back().label.c_str(),
+                 Attribute(outcomes.back().report).Summary().c_str());
     if (best == nullptr ||
         outcomes.back().report.steady_throughput() > best->report.steady_throughput()) {
       best = &outcomes.back();
@@ -66,6 +69,8 @@ int main() {
     config.microbatches = 1;
     config.microbatch_size = 8;
     rows.push_back(Outcome{"baseline-DP (DDP + LMS)", ProfileTraining(bert, config)});
+    std::fprintf(stderr, "[explain] %s: %s\n", rows.back().label.c_str(),
+                 Attribute(rows.back().report).Summary().c_str());
   }
   {  // Stock 1F1B script: 4 stages, 4 microbatches of 8.
     SessionConfig config = base;
@@ -73,6 +78,8 @@ int main() {
     config.microbatches = 4;
     config.microbatch_size = 8;
     rows.push_back(Outcome{"baseline-PP (1F1B + LMS)", ProfileTraining(bert, config)});
+    std::fprintf(stderr, "[explain] %s: %s\n", rows.back().label.c_str(),
+                 Attribute(rows.back().report).Summary().c_str());
   }
   {  // Harmony-DP, tuner over microbatch split x recompute.
     std::vector<std::pair<std::string, SessionConfig>> candidates;

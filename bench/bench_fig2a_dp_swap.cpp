@@ -42,6 +42,9 @@ int main() {
     config.microbatch_size = 5;
     config.iterations = 3;
     const SessionResult result = RunTraining(bert, config);
+    // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+    std::fprintf(stderr, "[explain] N=%d: %s\n", n,
+                 Attribute(result.report).Summary().c_str());
     const double throughput = result.report.steady_throughput();
     const double out_gb = static_cast<double>(result.report.steady_swap_out()) / kGB;
     const double in_gb = static_cast<double>(result.report.steady_swap_in()) / kGB;

@@ -29,6 +29,8 @@ int main() {
   config.microbatch_size = 8;  // 8 seqs x 512 tokens per microbatch
   config.iterations = 3;
   const SessionResult result = RunTraining(bert, config);
+  // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+  std::fprintf(stderr, "[explain] %s\n", Attribute(result.report).Summary().c_str());
 
   const double capacity_gb = static_cast<double>(11 * kGiB) / kGB;
   TablePrinter table({"GPU index", "layers", "mem demand (GB)", "capacity (GB)",

@@ -38,6 +38,8 @@ int main() {
   config.iterations = 1;
   config.record_timeline = true;
   const SessionResult result = RunTraining(model, config);
+  // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+  std::fprintf(stderr, "[explain] %s\n", Attribute(result.report).Summary().c_str());
 
   std::cout << RenderTimeline(result.plan, result.timeline) << "\n";
   std::cout << "task listing:\n" << ListTimeline(result.plan, result.timeline) << "\n";

@@ -43,6 +43,9 @@ double MeasuredUnits(harmony::Scheme scheme, int n, int m) {
   config.prefetch = false;  // the analytic model assumes no double buffering
   // Memoized: the headline-factor lines at the bottom re-measure sweep points.
   const RunReport report = ProfileTraining(model, config);
+  // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+  std::fprintf(stderr, "[explain] %s n=%d m=%d: %s\n", SchemeName(scheme), n, m,
+               Attribute(report).Summary().c_str());
   return static_cast<double>(report.iterations[1].weight_swap_volume()) /
          static_cast<double>(model.layer(0).cost.param_bytes);
 }

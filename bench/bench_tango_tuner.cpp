@@ -57,6 +57,10 @@ int main(int argc, char** argv) {
   std::printf("tuner pick: pack=%d, microbatch=%d (%d microbatches) -> %.2f samples/s\n\n",
               result.best.pack_size, result.best.microbatch_size, result.best.microbatches,
               result.best.throughput);
+  // Attribution goes to stderr: the golden-stdout gate pins this bench's stdout.
+  if (!result.best.why.empty()) {
+    std::fprintf(stderr, "[explain] tuner pick why: %s\n", result.best.why.c_str());
+  }
 
   // Double buffering: prefetch on/off at the tuned point.
   TablePrinter prefetch({"prefetch", "iter time (s)", "swap (GB/iter)", "throughput"});

@@ -231,6 +231,7 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
 
   result.report = engine.Run();
   result.timeline = engine.timeline();
+  result.churn_audit_log = memory.churn_audit_log();
   if (injector.has_value()) {
     result.fault_trace = injector->TraceString();
   }

@@ -76,6 +76,8 @@ struct SessionResult {
   std::vector<Bytes> peak_task_working_set;    // per device
   std::vector<Bytes> memory_demand_per_device; // sum of live-tensor peak, see Fig. 2(c)
   std::string fault_trace;                     // applied-fault log (empty without faults)
+  std::vector<ChurnEvent> churn_audit_log;     // non-empty iff audit_eviction: every swap-in,
+                                               // eviction, write-back, and p2p fetch in order
 };
 
 // Validates user-reachable configuration (everything the harmony_sim flags can set) with

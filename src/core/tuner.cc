@@ -170,6 +170,7 @@ TunerResult TunePp(const Model& model, const SessionConfig& base, const TunerOpt
       point.iteration_time = report.steady_iteration_time();
       point.throughput = report.steady_throughput();
       point.swap_volume = report.steady_swap_total();
+      point.why = Attribute(report).Summary();
     }
   });
 

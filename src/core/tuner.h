@@ -35,6 +35,10 @@ struct TunerPoint {
   double iteration_time = 0.0;
   Bytes swap_volume = 0;         // steady-state swap bytes per iteration
   Bytes peak_working_set = 0;    // max across devices
+  // One-line bottleneck attribution for feasible points (AttributionReport::Summary()):
+  // the winning configuration carries *why* it wins. Not part of RenderTunerTable, whose
+  // output the golden benches pin byte-for-byte.
+  std::string why;
 };
 
 struct TunerOptions {

@@ -46,6 +46,8 @@ TransferManager::TransferManager(Simulator* sim, const Topology* topology)
   node_dead_.assign(static_cast<std::size_t>(topology->num_nodes()), false);
   link_flows_.assign(static_cast<std::size_t>(topology->num_links()), {});
   link_stats_.assign(static_cast<std::size_t>(topology->num_links()), LinkStats{});
+  node_io_.assign(static_cast<std::size_t>(topology->num_nodes()), NodeIoStats{});
+  queue_timeline_.assign(static_cast<std::size_t>(topology->num_links()), {});
 }
 
 OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes,
@@ -83,6 +85,8 @@ OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes
 
   const std::int64_t id = next_flow_id_++;
   bytes_by_kind_[static_cast<std::size_t>(kind)] += bytes;
+  node_io_[static_cast<std::size_t>(src)].out_by_kind[static_cast<std::size_t>(kind)] += bytes;
+  node_io_[static_cast<std::size_t>(dst)].in_by_kind[static_cast<std::size_t>(kind)] += bytes;
 
   // The flow joins the network after its route latency; that keeps latency out of the
   // bandwidth-sharing math while still delaying short transfers realistically.
@@ -131,8 +135,20 @@ void TransferManager::AdvanceToNow() {
   for (std::size_t lid = 0; lid < link_active_.size(); ++lid) {
     if (link_active_[lid] > 0) {
       link_stats_[lid].busy_time += dt;
+      link_stats_[lid].flow_seconds += static_cast<double>(link_active_[lid]) * dt;
     }
   }
+}
+
+void TransferManager::RecordQueueDepth(LinkId link) {
+  const auto slot = static_cast<std::size_t>(link);
+  std::vector<LinkQueueSample>& timeline = queue_timeline_[slot];
+  const SimTime now = sim_->now();
+  if (!timeline.empty() && timeline.back().time == now) {
+    timeline.back().depth = link_active_[slot];
+    return;
+  }
+  timeline.push_back(LinkQueueSample{now, link_active_[slot]});
 }
 
 TransferManager::Flow& TransferManager::AttachFlow(Flow flow) {
@@ -141,8 +157,14 @@ TransferManager::Flow& TransferManager::AttachFlow(Flow flow) {
   HCHECK(inserted);
   Flow& attached = it->second;  // stable address: unordered_map never moves elements
   for (LinkId lid : attached.route) {
-    ++link_active_[static_cast<std::size_t>(lid)];
-    link_flows_[static_cast<std::size_t>(lid)].push_back(&attached);
+    const auto slot = static_cast<std::size_t>(lid);
+    ++link_active_[slot];
+    link_stats_[slot].max_queue_depth =
+        std::max(link_stats_[slot].max_queue_depth, link_active_[slot]);
+    link_flows_[slot].push_back(&attached);
+    if (record_queue_timeline_) {
+      RecordQueueDepth(lid);
+    }
   }
   return attached;
 }
@@ -158,6 +180,9 @@ void TransferManager::DetachFlow(Flow& flow, std::vector<LinkId>* dirty_links) {
     *it = on_link.back();  // order within a link list is irrelevant to the model
     on_link.pop_back();
     dirty_links->push_back(lid);
+    if (record_queue_timeline_) {
+      RecordQueueDepth(lid);
+    }
   }
   HeapRemove(flow);
 }
@@ -403,7 +428,10 @@ void TransferManager::OnWakeup(std::uint64_t generation) {
       continue;
     }
     for (LinkId lid : flow.route) {
-      link_stats_[static_cast<std::size_t>(lid)].bytes_carried += flow.bytes_total;
+      LinkStats& stats = link_stats_[static_cast<std::size_t>(lid)];
+      stats.bytes_carried += flow.bytes_total;
+      stats.bytes_by_kind[static_cast<std::size_t>(flow.kind)] += flow.bytes_total;
+      ++stats.flows;
     }
     DetachFlow(flow, &dirty_scratch_);
     ++flows_completed_;

@@ -51,7 +51,26 @@ const char* TransferKindName(TransferKind kind);
 
 struct LinkStats {
   Bytes bytes_carried = 0;
-  double busy_time = 0.0;  // wall time with >= 1 active flow
+  double busy_time = 0.0;     // wall time with >= 1 active flow
+  double flow_seconds = 0.0;  // time-integral of the active-flow count (avg queue depth
+                              // over the run = flow_seconds / makespan)
+  int max_queue_depth = 0;    // peak concurrent flows
+  std::int64_t flows = 0;     // flows carried to completion
+  Bytes bytes_by_kind[kNumTransferKinds] = {};  // completed-flow bytes per kind
+};
+
+// Per-node ingress/egress accounting, counted at flow start (same point as the global
+// bytes_by_kind accounting, so the two views always agree). The endpoint-indexed
+// counterpart of the MemoryManager's class-indexed counters — metrics_test equates them.
+struct NodeIoStats {
+  Bytes in_by_kind[kNumTransferKinds] = {};
+  Bytes out_by_kind[kNumTransferKinds] = {};
+};
+
+// One queue-depth change point of a link's timeline (recorded only when enabled).
+struct LinkQueueSample {
+  SimTime time = 0.0;
+  int depth = 0;
 };
 
 class TransferManager {
@@ -99,6 +118,16 @@ class TransferManager {
   Bytes total_bytes() const;
   const LinkStats& link_stats(LinkId link) const {
     return link_stats_.at(static_cast<std::size_t>(link));
+  }
+  const NodeIoStats& node_io(NodeId node) const {
+    return node_io_.at(static_cast<std::size_t>(node));
+  }
+
+  // Queue-depth timelines are off by default (they grow with flow count); the engine turns
+  // them on for record_timeline runs so the chrome-trace export gets counter tracks.
+  void set_record_queue_timeline(bool on) { record_queue_timeline_ = on; }
+  const std::vector<LinkQueueSample>& queue_timeline(LinkId link) const {
+    return queue_timeline_.at(static_cast<std::size_t>(link));
   }
   int num_active_flows() const { return static_cast<int>(flows_.size()); }
   std::int64_t flows_completed() const { return flows_completed_; }
@@ -200,7 +229,14 @@ class TransferManager {
   std::vector<LinkId> dirty_scratch_;  // reused per wakeup to avoid per-event allocation
 
   Bytes bytes_by_kind_[kNumTransferKinds] = {};
+  std::vector<NodeIoStats> node_io_;
   std::int64_t flows_completed_ = 0;
+
+  bool record_queue_timeline_ = false;
+  std::vector<std::vector<LinkQueueSample>> queue_timeline_;
+  // Appends (now, link_active_[link]) to the link's timeline, coalescing same-timestamp
+  // change points so each timestamp keeps only its final depth.
+  void RecordQueueDepth(LinkId link);
 };
 
 }  // namespace harmony

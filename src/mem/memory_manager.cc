@@ -31,6 +31,14 @@ Bytes MemoryCounters::total_p2p_in() const {
   return total;
 }
 
+Bytes MemoryCounters::total_clean_drops() const {
+  Bytes total = 0;
+  for (Bytes b : clean_drops) {
+    total += b;
+  }
+  return total;
+}
+
 // ---- MemoryManager -------------------------------------------------------------------------
 
 MemoryManager::MemoryManager(MemorySystem* system, int device_index, NodeId device_node,
@@ -549,6 +557,7 @@ bool MemoryManager::EvictOne() {
   TensorState& s = reg.mutable_state(victim);
   const TensorMeta& meta = reg.meta(victim);
   ++counters_.evictions;
+  system_->NoteEviction(victim);
 
   const bool can_drop = !s.dirty && s.host_valid && !policy.write_back_clean;
   if (can_drop) {
@@ -559,6 +568,7 @@ bool MemoryManager::EvictOne() {
     s.device = -1;
     s.alloc_offset = -1;
     counters_.clean_drops[static_cast<int>(meta.cls)] += meta.bytes;
+    system_->NoteChurn(victim, device_index_, ChurnKind::kEvictCleanDrop, meta.bytes);
     return true;
   }
 
@@ -566,6 +576,7 @@ bool MemoryManager::EvictOne() {
   s.residency = Residency::kSwappingOut;
   ++evictions_in_flight_;
   counters_.swap_out[static_cast<int>(meta.cls)] += meta.bytes;
+  system_->NoteChurn(victim, device_index_, ChurnKind::kEvictWriteBack, meta.bytes);
   OneShotEvent* done = system_->transfers().StartTransfer(device_node_, host_node_,
                                                           meta.bytes, TransferKind::kSwapOut);
   done->OnFired([this, victim] {
@@ -598,10 +609,13 @@ void MemoryManager::BeginSwapIn(TensorId id, Bytes offset) {
   resident_.insert(id);
   IndexAdd(id);
   counters_.swap_in[static_cast<int>(meta.cls)] += meta.bytes;
+  system_->NoteChurn(id, device_index_, ChurnKind::kSwapIn, meta.bytes);
   NoteUsage();
+  system_->NoteInboundStart(device_index_);
   OneShotEvent* done = system_->transfers().StartTransfer(host_node_, device_node_, meta.bytes,
                                                           TransferKind::kSwapIn);
   done->OnFired([this, id] {
+    system_->NoteInboundEnd(device_index_);
     TensorRegistry& registry = system_->registry();
     TensorState& state = registry.mutable_state(id);
     HCHECK(state.residency == Residency::kSwappingIn);
@@ -638,11 +652,14 @@ void MemoryManager::BeginPeerFetch(TensorId id, Bytes offset, MemoryManager* pee
   resident_.insert(id);
   IndexAdd(id);
   counters_.p2p_in[static_cast<int>(meta.cls)] += meta.bytes;
+  system_->NoteChurn(id, device_index_, ChurnKind::kP2pIn, meta.bytes);
   NoteUsage();
 
+  system_->NoteInboundStart(device_index_);
   OneShotEvent* done = system_->transfers().StartTransfer(peer->device_node_, device_node_,
                                                           meta.bytes, TransferKind::kPeerToPeer);
   done->OnFired([this, id] {
+    system_->NoteInboundEnd(device_index_);
     TensorRegistry& registry = system_->registry();
     TensorState& state = registry.mutable_state(id);
     HCHECK(state.residency == Residency::kSwappingIn);
@@ -686,6 +703,7 @@ void MemoryManager::BeginStagedFetchFromPeer(TensorId id, MemoryManager* peer) {
   s.residency = Residency::kSwappingOut;
   ++peer->evictions_in_flight_;
   peer->counters_.swap_out[static_cast<int>(meta.cls)] += meta.bytes;
+  system_->NoteChurn(id, peer->device_index_, ChurnKind::kPeerStageWriteBack, meta.bytes);
   OneShotEvent* done = system_->transfers().StartTransfer(
       peer->device_node_, peer->host_node_, meta.bytes, TransferKind::kSwapOut);
   done->OnFired([this, id, peer, release_issue] {
@@ -877,6 +895,72 @@ MemorySystem::MemorySystem(Simulator* sim, TransferManager* transfers, TensorReg
         gpu_capacities[static_cast<std::size_t>(g)]));
   }
   dirty_.assign(gpu_capacities.size(), 0);
+  inbound_.assign(gpu_capacities.size(), InboundBusy{});
+}
+
+void MemorySystem::NoteInboundStart(int device) {
+  InboundBusy& busy = inbound_[static_cast<std::size_t>(device)];
+  const SimTime now = sim_->now();
+  if (busy.active > 0) {
+    busy.seconds += now - busy.last_change;
+  }
+  ++busy.active;
+  busy.last_change = now;
+}
+
+void MemorySystem::NoteInboundEnd(int device) {
+  InboundBusy& busy = inbound_[static_cast<std::size_t>(device)];
+  const SimTime now = sim_->now();
+  HCHECK_GT(busy.active, 0);
+  busy.seconds += now - busy.last_change;
+  --busy.active;
+  busy.last_change = now;
+}
+
+double MemorySystem::InboundBusySeconds(int device) const {
+  const InboundBusy& busy = inbound_.at(static_cast<std::size_t>(device));
+  if (busy.active > 0) {
+    return busy.seconds + (sim_->now() - busy.last_change);
+  }
+  return busy.seconds;
+}
+
+void MemorySystem::NoteChurn(TensorId id, int device, ChurnKind kind, Bytes bytes) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  if (idx >= churn_.size()) {
+    churn_.resize(idx + 1);
+  }
+  TensorChurnCounters& churn = churn_[idx];
+  switch (kind) {
+    case ChurnKind::kSwapIn:
+      ++churn.swap_ins;
+      churn.swap_in_bytes += bytes;
+      break;
+    case ChurnKind::kEvictCleanDrop:
+      ++churn.clean_drops;
+      churn.clean_drop_bytes += bytes;
+      break;
+    case ChurnKind::kEvictWriteBack:
+    case ChurnKind::kPeerStageWriteBack:
+      ++churn.write_backs;
+      churn.swap_out_bytes += bytes;
+      break;
+    case ChurnKind::kP2pIn:
+      ++churn.p2p_ins;
+      churn.p2p_in_bytes += bytes;
+      break;
+  }
+  if (audit_eviction_) {
+    churn_log_.push_back(ChurnEvent{id, device, kind, bytes});
+  }
+}
+
+void MemorySystem::NoteEviction(TensorId id) {
+  const std::size_t idx = static_cast<std::size_t>(id);
+  if (idx >= churn_.size()) {
+    churn_.resize(idx + 1);
+  }
+  ++churn_[idx].evictions;
 }
 
 void MemorySystem::SetNextUseOracle(NextUseFn oracle) {

@@ -64,8 +64,48 @@ struct MemoryCounters {
   Bytes total_swap_in() const;
   Bytes total_swap_out() const;
   Bytes total_p2p_in() const;
+  Bytes total_clean_drops() const;
   Bytes swap_in_of(TensorClass cls) const { return swap_in[static_cast<int>(cls)]; }
   Bytes swap_out_of(TensorClass cls) const { return swap_out[static_cast<int>(cls)]; }
+};
+
+// Per-tensor swap churn, maintained machine-wide by the MemorySystem. Every counter is
+// bumped at the exact site its per-device MemoryCounters counterpart is bumped, so sums
+// over tensors equal sums over devices by construction (metrics_test asserts it, and
+// fuzz_test recounts these from the churn audit log under SessionConfig::audit_eviction).
+struct TensorChurnCounters {
+  std::int64_t evictions = 0;    // EvictOne victims (clean drops + eviction write-backs)
+  std::int64_t clean_drops = 0;
+  std::int64_t write_backs = 0;  // eviction write-backs + staged peer write-backs
+  std::int64_t swap_ins = 0;
+  std::int64_t p2p_ins = 0;
+  Bytes swap_in_bytes = 0;
+  Bytes swap_out_bytes = 0;
+  Bytes p2p_in_bytes = 0;
+  Bytes clean_drop_bytes = 0;
+
+  bool any() const {
+    return evictions != 0 || clean_drops != 0 || write_backs != 0 || swap_ins != 0 ||
+           p2p_ins != 0;
+  }
+};
+
+// One churn event, appended to the audit log when audit_eviction is on. The kinds split
+// write-backs by origin so a recount can reproduce the eviction counter exactly
+// (evictions = kEvictCleanDrop + kEvictWriteBack events).
+enum class ChurnKind : int {
+  kSwapIn = 0,            // host -> device upload (first touch or re-fetch)
+  kEvictCleanDrop = 1,    // EvictOne dropped a clean replica for free
+  kEvictWriteBack = 2,    // EvictOne paid a device -> host copy
+  kPeerStageWriteBack = 3,  // staged fetch forced the owner to write back (no-p2p path)
+  kP2pIn = 4,             // direct peer -> peer fetch
+};
+
+struct ChurnEvent {
+  TensorId tensor = kInvalidTensor;
+  int device = -1;  // device whose counters the event hit
+  ChurnKind kind = ChurnKind::kSwapIn;
+  Bytes bytes = 0;
 };
 
 // One task's working-set request against a specific device.
@@ -321,6 +361,19 @@ class MemorySystem {
   Bytes TotalSwapInOf(TensorClass cls) const;
   Bytes TotalP2pIn() const;
 
+  // ---- observability (DESIGN.md §8) ----
+  // Wall time device `device` has had at least one inbound DMA (swap-in / p2p-in) in
+  // flight, integrated lazily up to now. The engine samples this at acquire-start and
+  // acquire-grant to split the wait exactly into stall-on-transfer vs stall-on-memory.
+  double InboundBusySeconds(int device) const;
+
+  // Machine-wide per-tensor churn; indexed by TensorId, sized lazily (ids past the end
+  // have all-zero counters).
+  const std::vector<TensorChurnCounters>& tensor_churn() const { return churn_; }
+  // Event-granular churn log; appended only while audit_eviction is on (the recount arm
+  // of the fuzz cross-check — unbounded growth otherwise).
+  const std::vector<ChurnEvent>& churn_audit_log() const { return churn_log_; }
+
  private:
   friend class MemoryManager;
   // Dirty-device pump. SchedulePump marks one device and guarantees a zero-delay pump
@@ -338,6 +391,15 @@ class MemorySystem {
   void EnsurePumpScheduled();
   void PumpDirty();
 
+  // Inbound-DMA busy integrator: pure accounting, never schedules events, so enabling the
+  // observability layer cannot perturb the simulated schedule.
+  void NoteInboundStart(int device);
+  void NoteInboundEnd(int device);
+  // Per-tensor churn bump + audit-log append; called at the same sites as the per-device
+  // MemoryCounters bumps.
+  void NoteChurn(TensorId id, int device, ChurnKind kind, Bytes bytes);
+  void NoteEviction(TensorId id);
+
   Simulator* sim_;
   TransferManager* transfers_;
   TensorRegistry* registry_;
@@ -351,6 +413,15 @@ class MemorySystem {
   std::vector<std::uint64_t> tensor_waiters_;   // per-tensor bitmask of waiting devices
   bool audit_eviction_ = false;
   bool reference_scan_eviction_ = false;
+
+  struct InboundBusy {
+    int active = 0;
+    double seconds = 0.0;
+    SimTime last_change = 0.0;
+  };
+  std::vector<InboundBusy> inbound_;
+  std::vector<TensorChurnCounters> churn_;
+  std::vector<ChurnEvent> churn_log_;
 };
 
 }  // namespace harmony

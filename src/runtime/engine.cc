@@ -28,6 +28,14 @@ Engine::Engine(Simulator* sim, const Machine* machine, MemorySystem* memory,
   }
   devices_.resize(static_cast<std::size_t>(plan->num_devices()));
   device_busy_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  device_time_.assign(static_cast<std::size_t>(plan->num_devices()), DeviceTimeBreakdown{});
+  dep_wait_start_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  acquire_start_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  inbound_mark_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  last_finish_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  if (options_.record_timeline) {
+    transfers_->set_record_queue_timeline(true);
+  }
   iteration_remaining_.assign(static_cast<std::size_t>(plan->num_iterations), 0);
   iteration_end_.assign(static_cast<std::size_t>(plan->num_iterations), 0.0);
   for (const Task& task : plan->tasks) {
@@ -111,6 +119,16 @@ RunReport Engine::Run() {
   report.samples_per_iteration = plan_->samples_per_iteration;
   report.iterations = iteration_stats_;
   report.device_busy = device_busy_;
+  // Close each device's breakdown with its idle tail. On failure-free runs every other
+  // bucket was accumulated between consecutive lifecycle points since t = 0, so the six
+  // buckets now sum to makespan (metrics_test holds this for every scheduler); aborted
+  // runs leave windows open and make no conservation claim.
+  report.device_time = device_time_;
+  for (int d = 0; d < plan_->num_devices(); ++d) {
+    const double idle = report.makespan - last_finish_[static_cast<std::size_t>(d)];
+    report.device_time[static_cast<std::size_t>(d)].of(TimeClass::kIdle) =
+        std::max(idle, 0.0);
+  }
   for (int d = 0; d < plan_->num_devices(); ++d) {
     const MemoryCounters& counters = memory_->manager(d).counters();
     report.device_swap_in.push_back(counters.total_swap_in());
@@ -131,7 +149,56 @@ RunReport Engine::Run() {
     usage.bytes = stats.bytes_carried;
     usage.busy_time = stats.busy_time;
     usage.utilization = report.makespan > 0.0 ? stats.busy_time / report.makespan : 0.0;
+    usage.avg_queue_depth = report.makespan > 0.0 ? stats.flow_seconds / report.makespan : 0.0;
+    usage.max_queue_depth = stats.max_queue_depth;
+    usage.flows = stats.flows;
+    for (int k = 0; k < kNumTransferKinds; ++k) {
+      usage.bytes_by_kind[k] = stats.bytes_by_kind[k];
+    }
     report.links.push_back(std::move(usage));
+  }
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const NodeIoStats& io = transfers_->node_io(n);
+    RunReport::NodeIo node;
+    node.node = topo.node(n).name;
+    for (int k = 0; k < kNumTransferKinds; ++k) {
+      node.in_by_kind[k] = io.in_by_kind[k];
+      node.out_by_kind[k] = io.out_by_kind[k];
+    }
+    report.node_io.push_back(std::move(node));
+  }
+  const TensorRegistry& registry = memory_->registry();
+  const std::vector<TensorChurnCounters>& churn = memory_->tensor_churn();
+  for (std::size_t t = 0; t < churn.size(); ++t) {
+    const TensorChurnCounters& c = churn[t];
+    if (!c.any()) {
+      continue;
+    }
+    const TensorMeta& meta = registry.meta(static_cast<TensorId>(t));
+    RunReport::TensorChurn entry;
+    entry.tensor = meta.id;
+    entry.name = meta.name;
+    entry.cls = TensorClassName(meta.cls);
+    entry.bytes = meta.bytes;
+    entry.evictions = c.evictions;
+    entry.clean_drops = c.clean_drops;
+    entry.write_backs = c.write_backs;
+    entry.swap_ins = c.swap_ins;
+    entry.p2p_ins = c.p2p_ins;
+    entry.swap_in_bytes = c.swap_in_bytes;
+    entry.swap_out_bytes = c.swap_out_bytes;
+    entry.p2p_in_bytes = c.p2p_in_bytes;
+    entry.clean_drop_bytes = c.clean_drop_bytes;
+    report.tensor_churn.push_back(std::move(entry));
+  }
+  if (options_.record_timeline) {
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      std::vector<RunReport::LinkQueuePoint> points;
+      for (const LinkQueueSample& sample : transfers_->queue_timeline(l)) {
+        points.push_back({sample.time, sample.depth});
+      }
+      report.link_queue_timeline.push_back(std::move(points));
+    }
   }
   return report;
 }
@@ -147,6 +214,7 @@ void Engine::StartNextTask(int device) {
   }
   const TaskId task_id = order[state.next_index];
   const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
+  dep_wait_start_[static_cast<std::size_t>(device)] = sim_->now();
 
   auto deps_done = std::make_shared<CountdownEvent>(sim_, static_cast<int>(task.deps.size()));
   for (TaskId dep : task.deps) {
@@ -161,6 +229,14 @@ void Engine::AcquireAndRun(int device, TaskId task_id) {
   }
   const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
   MemoryManager& manager = memory_->manager(device);
+
+  // Dependency wait ends, acquire wait begins. The inbound-busy sample taken here is
+  // differenced at grant time to split the wait into transfer vs memory stall.
+  const std::size_t slot = static_cast<std::size_t>(device);
+  const double now = sim_->now();
+  device_time_[slot].of(TimeClass::kStallDependency) += now - dep_wait_start_[slot];
+  acquire_start_[slot] = now;
+  inbound_mark_[slot] = memory_->InboundBusySeconds(device);
 
   auto it = prefetched_.find(task_id);
   if (it != prefetched_.end()) {
@@ -189,8 +265,21 @@ void Engine::AcquireAndRun(int device, TaskId task_id) {
 void Engine::RunWithHandle(int device, TaskId task_id,
                            MemoryManager::AcquireHandle handle) {
   const Task& task = plan_->tasks[static_cast<std::size_t>(task_id)];
+  const std::size_t slot = static_cast<std::size_t>(device);
+  // Acquire wait ends: split [acquire_start, now) into the part with inbound DMA in flight
+  // (stall-on-transfer) and the remainder (stall-on-memory-acquire). The split is exact by
+  // construction — the integral difference is the in-window inbound busy time — with a
+  // clamp only against FP round-off.
+  {
+    const double now = sim_->now();
+    const double window = now - acquire_start_[slot];
+    double transfer = memory_->InboundBusySeconds(device) - inbound_mark_[slot];
+    transfer = std::min(std::max(transfer, 0.0), window);
+    device_time_[slot].of(TimeClass::kStallTransfer) += transfer;
+    device_time_[slot].of(TimeClass::kStallMemory) += window - transfer;
+  }
   // The working set is resident; overlap the next task's swap-ins with this compute.
-  ++devices_[static_cast<std::size_t>(device)].next_index;
+  ++devices_[slot].next_index;
   MaybePrefetch(device);
 
   const double start = sim_->now();
@@ -198,6 +287,8 @@ void Engine::RunWithHandle(int device, TaskId task_id,
     collective_->Arrive(task.collective_group, device, task.collective_bytes,
                         collective_group_size_.at(task.collective_group),
                         [this, device, task_id, handle, start] {
+                          device_time_[static_cast<std::size_t>(device)].of(
+                              TimeClass::kStallCollective) += sim_->now() - start;
                           if (options_.record_timeline) {
                             timeline_.push_back(TaskTrace{task_id, start, sim_->now()});
                           }
@@ -210,6 +301,7 @@ void Engine::RunWithHandle(int device, TaskId task_id,
   HCHECK_GT(rate, 0.0);
   const double duration = task.flops / rate;
   device_busy_[static_cast<std::size_t>(device)] += duration;
+  device_time_[slot].of(TimeClass::kCompute) += duration;
   sim_->ScheduleAfter(duration, [this, device, task_id, handle, start] {
     if (options_.record_timeline) {
       timeline_.push_back(TaskTrace{task_id, start, sim_->now()});
@@ -231,6 +323,7 @@ void Engine::FinishTask(int device, TaskId task_id, MemoryManager::AcquireHandle
   }
   ++completed_tasks_;
   finish_time_ = sim_->now();
+  last_finish_[static_cast<std::size_t>(device)] = sim_->now();
   completion_[static_cast<std::size_t>(task_id)]->Fire();
 
   auto& remaining = iteration_remaining_[static_cast<std::size_t>(task.iteration)];

@@ -126,6 +126,21 @@ class Engine {
   std::vector<NextUseIndex> next_use_index_;
 
   std::vector<double> device_busy_;
+
+  // ---- wall-clock decomposition (DESIGN.md §8) ----
+  // Spans accumulate between the task lifecycle points the engine already passes through:
+  // dependency wait [StartNextTask, AcquireAndRun), acquire wait [AcquireAndRun,
+  // RunWithHandle) — split into transfer vs memory stall by differencing the MemorySystem's
+  // inbound-busy integral — and compute/collective [RunWithHandle, FinishTask). Idle is
+  // makespan minus the device's last finish, so the six buckets sum to makespan exactly on
+  // failure-free runs. Pure accounting: no events are scheduled, the event order is
+  // untouched, and every golden bench stdout stays byte-identical.
+  std::vector<DeviceTimeBreakdown> device_time_;
+  std::vector<double> dep_wait_start_;
+  std::vector<double> acquire_start_;
+  std::vector<double> inbound_mark_;   // InboundBusySeconds sample at acquire start
+  std::vector<double> last_finish_;    // last FinishTask per device (idle anchor)
+
   std::vector<TaskTrace> timeline_;
   std::vector<IterationStats> iteration_stats_;
   int completed_tasks_ = 0;

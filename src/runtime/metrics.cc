@@ -1,5 +1,6 @@
 #include "src/runtime/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/util/check.h"
@@ -22,6 +23,47 @@ double SteadyAverage(const std::vector<IterationStats>& iterations, Fn get) {
 }
 
 }  // namespace
+
+const char* TimeClassName(TimeClass cls) {
+  switch (cls) {
+    case TimeClass::kCompute:
+      return "compute";
+    case TimeClass::kStallDependency:
+      return "stall-dependency";
+    case TimeClass::kStallMemory:
+      return "stall-memory";
+    case TimeClass::kStallTransfer:
+      return "stall-transfer";
+    case TimeClass::kStallCollective:
+      return "stall-collective";
+    case TimeClass::kIdle:
+      return "idle";
+  }
+  return "unknown";
+}
+
+double DeviceTimeBreakdown::total() const {
+  double sum = 0.0;
+  for (double s : seconds) {
+    sum += s;
+  }
+  return sum;
+}
+
+TimeClass DeviceTimeBreakdown::DominantStall() const {
+  TimeClass best = TimeClass::kStallDependency;
+  for (int c = static_cast<int>(TimeClass::kStallDependency); c < kNumTimeClasses; ++c) {
+    if (seconds[c] > seconds[static_cast<int>(best)]) {
+      best = static_cast<TimeClass>(c);
+    }
+  }
+  return best;
+}
+
+std::int64_t RunReport::TensorChurn::refetches() const {
+  const std::int64_t fetches = swap_ins + p2p_ins;
+  return fetches > 0 ? fetches - 1 : 0;
+}
 
 double RunReport::steady_iteration_time() const {
   return SteadyAverage(iterations, [](const IterationStats& it) { return it.duration(); });
@@ -80,6 +122,108 @@ std::string RunReport::Summary() const {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.2f samples/s", steady_throughput());
   os << buffer;
+  return os.str();
+}
+
+AttributionReport Attribute(const RunReport& report, int top_tensors) {
+  AttributionReport out;
+  double worst_fraction = -1.0;
+  const int devices_with_breakdown =
+      std::min(report.num_devices(), static_cast<int>(report.device_time.size()));
+  for (int d = 0; d < devices_with_breakdown; ++d) {
+    const DeviceTimeBreakdown& time = report.device_time[static_cast<std::size_t>(d)];
+    AttributionReport::DeviceStall stall;
+    stall.device = d;
+    stall.dominant = time.DominantStall();
+    stall.seconds = time.of(stall.dominant);
+    stall.fraction = report.makespan > 0.0 ? stall.seconds / report.makespan : 0.0;
+    if (stall.fraction > worst_fraction) {
+      worst_fraction = stall.fraction;
+      out.worst_device = d;
+    }
+    out.devices.push_back(stall);
+  }
+  if (const RunReport::LinkUsage* link = report.BottleneckLink()) {
+    out.bottleneck_link = link->name;
+    out.bottleneck_utilization = link->utilization;
+    out.bottleneck_queue_depth = link->avg_queue_depth;
+    out.bottleneck_bytes = link->bytes;
+  }
+  out.top_churn = report.tensor_churn;
+  std::sort(out.top_churn.begin(), out.top_churn.end(),
+            [](const RunReport::TensorChurn& a, const RunReport::TensorChurn& b) {
+              if (a.moved_bytes() != b.moved_bytes()) {
+                return a.moved_bytes() > b.moved_bytes();
+              }
+              return a.tensor < b.tensor;
+            });
+  if (top_tensors >= 0 &&
+      out.top_churn.size() > static_cast<std::size_t>(top_tensors)) {
+    out.top_churn.resize(static_cast<std::size_t>(top_tensors));
+  }
+  return out;
+}
+
+std::string AttributionReport::Summary() const {
+  std::ostringstream os;
+  char buffer[160];
+  if (worst_device >= 0) {
+    const DeviceStall& stall = devices[static_cast<std::size_t>(worst_device)];
+    std::snprintf(buffer, sizeof(buffer), "gpu%d %s %.0f%%", stall.device,
+                  TimeClassName(stall.dominant), stall.fraction * 100.0);
+    os << buffer;
+  } else {
+    os << "no devices";
+  }
+  if (!bottleneck_link.empty()) {
+    std::snprintf(buffer, sizeof(buffer), "; hot link %s %.0f%%", bottleneck_link.c_str(),
+                  bottleneck_utilization * 100.0);
+    os << buffer;
+  }
+  if (!top_churn.empty()) {
+    os << "; top churn " << top_churn.front().name << " ("
+       << FormatBytes(top_churn.front().moved_bytes()) << " moved, "
+       << top_churn.front().refetches() << " re-fetches)";
+  }
+  return os.str();
+}
+
+std::string AttributionReport::Render() const {
+  std::ostringstream os;
+  char buffer[200];
+  os << "bottleneck attribution:\n";
+  for (const DeviceStall& stall : devices) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "  gpu%d: dominant stall %-16s %8.3f s (%5.1f%% of makespan)%s\n",
+                  stall.device, TimeClassName(stall.dominant), stall.seconds,
+                  stall.fraction * 100.0, stall.device == worst_device ? "  <-- worst" : "");
+    os << buffer;
+  }
+  if (!bottleneck_link.empty()) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "  top contended link: %s (%.1f%% busy, avg queue %.2f, %s carried)\n",
+                  bottleneck_link.c_str(), bottleneck_utilization * 100.0,
+                  bottleneck_queue_depth, FormatBytes(bottleneck_bytes).c_str());
+    os << buffer;
+  } else {
+    os << "  top contended link: none (no traffic)\n";
+  }
+  if (top_churn.empty()) {
+    os << "  top churn tensors: none\n";
+  } else {
+    os << "  top churn tensors:\n";
+    for (const RunReport::TensorChurn& churn : top_churn) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "    %-24s %s moved (%lld evictions, %lld re-fetches, %lld clean-drops, "
+                    "%lld write-backs)\n",
+                    churn.name.c_str(), FormatBytes(churn.moved_bytes()).c_str(),
+                    static_cast<long long>(churn.evictions),
+                    static_cast<long long>(churn.refetches()),
+                    static_cast<long long>(churn.clean_drops),
+                    static_cast<long long>(churn.write_backs));
+      os << buffer;
+    }
+  }
   return os.str();
 }
 

@@ -1,11 +1,74 @@
 #include "src/runtime/report_io.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "src/util/table.h"
 
 namespace harmony {
+
+namespace {
+
+// Shortest decimal that round-trips to the same double: try %.15g..%.17g and take the
+// first exact match. Deterministic, so the JSON export is byte-stable across runs.
+std::string JsonNumber(double value) {
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) {
+      break;
+    }
+  }
+  return buffer;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// `{"kSwapIn": 123, ...}` with zero-valued kinds omitted (keeps tensor-heavy exports
+// readable); emits `{}` when nothing flowed.
+std::string BytesByKindObject(const Bytes by_kind[kNumTransferKinds]) {
+  std::string out = "{";
+  bool first = true;
+  for (int k = 0; k < kNumTransferKinds; ++k) {
+    if (by_kind[k] == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += JsonString(TransferKindName(static_cast<TransferKind>(k)));
+    out += ": ";
+    out += std::to_string(by_kind[k]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
 
 std::string ReportToCsv(const RunReport& report) {
   std::ostringstream os;
@@ -50,12 +113,156 @@ std::string ReportToMarkdown(const RunReport& report) {
   return os.str();
 }
 
+std::string ReportToJson(const RunReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"harmony-run-report\",\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"scheme\": " << JsonString(report.scheme) << ",\n";
+  os << "  \"makespan_s\": " << JsonNumber(report.makespan) << ",\n";
+  os << "  \"samples_per_iteration\": " << report.samples_per_iteration << ",\n";
+  os << "  \"failed\": " << (report.failed ? "true" : "false") << ",\n";
+  if (report.failed) {
+    os << "  \"failure\": {\"kind\": " << JsonString(report.failure_kind)
+       << ", \"device\": " << report.failed_device
+       << ", \"time_s\": " << JsonNumber(report.failure_time) << "},\n";
+  }
+  os << "  \"totals\": {\"swap_in_bytes\": " << report.total_swap_in
+     << ", \"swap_out_bytes\": " << report.total_swap_out
+     << ", \"p2p_bytes\": " << report.total_p2p
+     << ", \"collective_bytes\": " << report.total_collective << "},\n";
+
+  os << "  \"devices\": [\n";
+  for (int d = 0; d < report.num_devices(); ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    os << "    {\"device\": " << d
+       << ", \"busy_s\": " << JsonNumber(report.device_busy[i])
+       << ", \"swap_in_bytes\": " << report.device_swap_in[i]
+       << ", \"swap_out_bytes\": " << report.device_swap_out[i]
+       << ", \"high_water_bytes\": " << report.device_high_water[i]
+       << ", \"evictions\": " << report.device_evictions[i]
+       << ", \"defrags\": " << report.device_defrags[i];
+    if (i < report.device_time.size()) {
+      const DeviceTimeBreakdown& time = report.device_time[i];
+      os << ",\n     \"time_breakdown_s\": {";
+      for (int c = 0; c < kNumTimeClasses; ++c) {
+        if (c > 0) {
+          os << ", ";
+        }
+        os << JsonString(TimeClassName(static_cast<TimeClass>(c))) << ": "
+           << JsonNumber(time.seconds[c]);
+      }
+      os << "},\n     \"dominant_stall\": " << JsonString(TimeClassName(time.DominantStall()));
+    }
+    os << "}" << (d + 1 < report.num_devices() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"links\": [\n";
+  for (std::size_t l = 0; l < report.links.size(); ++l) {
+    const RunReport::LinkUsage& link = report.links[l];
+    os << "    {\"name\": " << JsonString(link.name) << ", \"bytes\": " << link.bytes
+       << ", \"busy_s\": " << JsonNumber(link.busy_time)
+       << ", \"utilization\": " << JsonNumber(link.utilization)
+       << ", \"avg_queue_depth\": " << JsonNumber(link.avg_queue_depth)
+       << ", \"max_queue_depth\": " << link.max_queue_depth
+       << ", \"flows\": " << link.flows
+       << ", \"bytes_by_kind\": " << BytesByKindObject(link.bytes_by_kind) << "}"
+       << (l + 1 < report.links.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"node_io\": [\n";
+  for (std::size_t n = 0; n < report.node_io.size(); ++n) {
+    const RunReport::NodeIo& node = report.node_io[n];
+    os << "    {\"node\": " << JsonString(node.node)
+       << ", \"in_by_kind\": " << BytesByKindObject(node.in_by_kind)
+       << ", \"out_by_kind\": " << BytesByKindObject(node.out_by_kind) << "}"
+       << (n + 1 < report.node_io.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"tensor_churn\": [\n";
+  for (std::size_t t = 0; t < report.tensor_churn.size(); ++t) {
+    const RunReport::TensorChurn& churn = report.tensor_churn[t];
+    os << "    {\"tensor\": " << churn.tensor << ", \"name\": " << JsonString(churn.name)
+       << ", \"class\": " << JsonString(churn.cls) << ", \"bytes\": " << churn.bytes
+       << ", \"evictions\": " << churn.evictions
+       << ", \"clean_drops\": " << churn.clean_drops
+       << ", \"write_backs\": " << churn.write_backs
+       << ", \"swap_ins\": " << churn.swap_ins << ", \"p2p_ins\": " << churn.p2p_ins
+       << ", \"refetches\": " << churn.refetches()
+       << ", \"swap_in_bytes\": " << churn.swap_in_bytes
+       << ", \"swap_out_bytes\": " << churn.swap_out_bytes
+       << ", \"p2p_in_bytes\": " << churn.p2p_in_bytes
+       << ", \"clean_drop_bytes\": " << churn.clean_drop_bytes << "}"
+       << (t + 1 < report.tensor_churn.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"iterations\": [\n";
+  for (std::size_t it = 0; it < report.iterations.size(); ++it) {
+    const IterationStats& stats = report.iterations[it];
+    os << "    {\"iteration\": " << stats.iteration
+       << ", \"start_s\": " << JsonNumber(stats.start_time)
+       << ", \"end_s\": " << JsonNumber(stats.end_time)
+       << ", \"swap_in_bytes\": " << stats.swap_in
+       << ", \"swap_out_bytes\": " << stats.swap_out
+       << ", \"p2p_bytes\": " << stats.p2p_in
+       << ", \"collective_bytes\": " << stats.collective_bytes << "}"
+       << (it + 1 < report.iterations.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  const AttributionReport attribution = Attribute(report);
+  os << "  \"attribution\": {\n";
+  os << "    \"summary\": " << JsonString(attribution.Summary()) << ",\n";
+  os << "    \"worst_device\": " << attribution.worst_device << ",\n";
+  os << "    \"devices\": [";
+  for (std::size_t d = 0; d < attribution.devices.size(); ++d) {
+    const AttributionReport::DeviceStall& stall = attribution.devices[d];
+    os << (d > 0 ? ", " : "") << "{\"device\": " << stall.device
+       << ", \"dominant_stall\": " << JsonString(TimeClassName(stall.dominant))
+       << ", \"seconds\": " << JsonNumber(stall.seconds)
+       << ", \"fraction\": " << JsonNumber(stall.fraction) << "}";
+  }
+  os << "],\n";
+  os << "    \"bottleneck_link\": {\"name\": " << JsonString(attribution.bottleneck_link)
+     << ", \"utilization\": " << JsonNumber(attribution.bottleneck_utilization)
+     << ", \"avg_queue_depth\": " << JsonNumber(attribution.bottleneck_queue_depth)
+     << ", \"bytes\": " << attribution.bottleneck_bytes << "},\n";
+  os << "    \"top_churn\": [";
+  for (std::size_t t = 0; t < attribution.top_churn.size(); ++t) {
+    const RunReport::TensorChurn& churn = attribution.top_churn[t];
+    os << (t > 0 ? ", " : "") << "{\"tensor\": " << churn.tensor
+       << ", \"name\": " << JsonString(churn.name)
+       << ", \"moved_bytes\": " << churn.moved_bytes()
+       << ", \"refetches\": " << churn.refetches() << "}";
+  }
+  os << "]\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
 Status WriteReportCsv(const RunReport& report, const std::string& path) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) {
     return InternalError("cannot open report file " + path);
   }
   file << ReportToCsv(report);
+  if (!file.good()) {
+    return InternalError("failed writing report file " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteReportJson(const RunReport& report, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return InternalError("cannot open report file " + path);
+  }
+  file << ReportToJson(report);
   if (!file.good()) {
     return InternalError("failed writing report file " + path);
   }

@@ -1,5 +1,6 @@
-// Report serialization: CSV (for plotting pipelines) and a markdown summary (for pasting
-// into issues / EXPERIMENTS.md-style records).
+// Report serialization: CSV (for plotting pipelines), a markdown summary (for pasting
+// into issues / EXPERIMENTS.md-style records), and structured JSON (the observability
+// export behind `harmony_sim --json`, schema in DESIGN.md §8).
 #ifndef HARMONY_SRC_RUNTIME_REPORT_IO_H_
 #define HARMONY_SRC_RUNTIME_REPORT_IO_H_
 
@@ -17,7 +18,15 @@ std::string ReportToCsv(const RunReport& report);
 // Compact markdown: a header line, the steady-state summary, and a per-device table.
 std::string ReportToMarkdown(const RunReport& report);
 
+// Full structured export: run header, per-device wall-clock decomposition, per-link and
+// per-node byte accounting, per-tensor churn, per-iteration stats, and the distilled
+// bottleneck attribution. Deterministic byte-for-byte: fixed key order, integers as
+// integers, doubles as shortest round-trip (%.17g trimmed) — the explain golden test
+// byte-compares this output. Parse it back with util/json.h.
+std::string ReportToJson(const RunReport& report);
+
 Status WriteReportCsv(const RunReport& report, const std::string& path);
+Status WriteReportJson(const RunReport& report, const std::string& path);
 
 }  // namespace harmony
 

@@ -1,5 +1,6 @@
 #include "src/runtime/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -35,6 +36,11 @@ void AppendEscaped(std::string& out, const std::string& text) {
 }  // namespace
 
 std::string TimelineToChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline) {
+  return TimelineToChromeTrace(plan, timeline, nullptr);
+}
+
+std::string TimelineToChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline,
+                                  const RunReport* report) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   char buffer[128];
@@ -66,17 +72,42 @@ std::string TimelineToChromeTrace(const Plan& plan, const std::vector<TaskTrace>
                   d, d);
     out += buffer;
   }
+  // Link queue-depth counter tracks (one per link with traffic), under their own pid so
+  // Perfetto groups them away from the device tracks.
+  if (report != nullptr && !report->link_queue_timeline.empty()) {
+    const std::size_t num_links =
+        std::min(report->links.size(), report->link_queue_timeline.size());
+    for (std::size_t l = 0; l < num_links; ++l) {
+      const auto& points = report->link_queue_timeline[l];
+      if (points.empty()) {
+        continue;
+      }
+      std::string name = "queue ";
+      AppendEscaped(name, report->links[l].name);
+      for (const RunReport::LinkQueuePoint& point : points) {
+        out += ",{\"name\":\"";
+        out += name;
+        std::snprintf(buffer, sizeof(buffer),
+                      "\",\"ph\":\"C\",\"pid\":1,\"ts\":%.3f,\"args\":{\"flows\":%d}}",
+                      point.time * 1e6, point.depth);
+        out += buffer;
+      }
+    }
+    out +=
+        ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"links\"}}";
+  }
   out += "]}";
   return out;
 }
 
 Status WriteChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline,
-                        const std::string& path) {
+                        const std::string& path, const RunReport* report) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) {
     return InternalError("cannot open trace file " + path);
   }
-  file << TimelineToChromeTrace(plan, timeline);
+  file << TimelineToChromeTrace(plan, timeline, report);
   if (!file.good()) {
     return InternalError("failed writing trace file " + path);
   }

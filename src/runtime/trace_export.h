@@ -20,9 +20,15 @@ namespace harmony {
 // microsecond timestamps).
 std::string TimelineToChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline);
 
-// Writes TimelineToChromeTrace output to `path`.
+// Same, plus one counter track ("ph":"C") per link showing active-flow queue depth over
+// time, sourced from report->link_queue_timeline (present when the run had record_timeline
+// set). Passing nullptr — or a report without timelines — degrades to the plain export.
+std::string TimelineToChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline,
+                                  const RunReport* report);
+
+// Writes TimelineToChromeTrace output to `path`; include `report` for the counter tracks.
 Status WriteChromeTrace(const Plan& plan, const std::vector<TaskTrace>& timeline,
-                        const std::string& path);
+                        const std::string& path, const RunReport* report = nullptr);
 
 }  // namespace harmony
 

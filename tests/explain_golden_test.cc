@@ -1,0 +1,105 @@
+// Golden test for the structured observability export (DESIGN.md §8).
+//
+// Rebuilds bench_fig4_schedule's toy configuration (4-layer model, 2 GPUs, Harmony-PP,
+// 2 microbatches, record_timeline on), renders the JSON run report plus the --explain
+// attribution, and compares the result *byte-for-byte* against the committed golden file.
+// The JSON is also schema-validated through util/json.h, so a drift failure distinguishes
+// "output changed" from "output is no longer well-formed". Regenerate the golden after an
+// intentional schema/format change with:
+//   build/tests/explain_golden_test --update_golden    (any argv[1] triggers the rewrite)
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/session.h"
+#include "src/graph/model_zoo.h"
+#include "src/runtime/report_io.h"
+#include "src/util/json.h"
+
+#ifndef HARMONY_EXPLAIN_GOLDEN_PATH
+#define HARMONY_EXPLAIN_GOLDEN_PATH "tools/golden_explain.json"
+#endif
+
+namespace harmony {
+namespace {
+
+bool g_update_golden = false;
+
+// The exact bench_fig4_schedule configuration — the toy schedule the paper's Fig. 4 draws.
+SessionResult RunToySchedule() {
+  UniformModelConfig mc;
+  mc.name = "toy-4layer";
+  mc.num_layers = 4;
+  mc.param_bytes = 256 * kMiB;
+  mc.act_bytes_per_sample = 64 * kMiB;
+  mc.fwd_flops_per_sample = 4e11;
+  mc.optimizer_state_factor = 1.0;
+  const Model model = MakeUniformModel(mc);
+
+  SessionConfig config;
+  config.server.num_gpus = 2;
+  config.server.gpu = TestGpu(2 * kGiB, TFlops(4.0));
+  config.scheme = Scheme::kHarmonyPp;
+  config.microbatches = 2;
+  config.microbatch_size = 4;
+  config.iterations = 1;
+  config.record_timeline = true;
+  return RunTraining(model, config);
+}
+
+// The golden document: the JSON report followed by the rendered attribution, separated so
+// one file pins both the machine-readable and the human-readable form.
+std::string GoldenDocument(const SessionResult& result) {
+  std::string out = ReportToJson(result.report);
+  out += "---- explain ----\n";
+  out += Attribute(result.report).Render();
+  return out;
+}
+
+TEST(ExplainGoldenTest, ToyScheduleExplainOutputIsByteStable) {
+  const SessionResult result = RunToySchedule();
+  const std::string document = GoldenDocument(result);
+
+  // Schema gate first: the JSON half must parse and carry the §8 required fields.
+  const std::string json_part = document.substr(0, document.find("---- explain ----\n"));
+  const StatusOr<JsonValue> parsed = ParseJson(json_part);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = parsed.value();
+  for (const char* key : {"schema", "version", "scheme", "makespan_s", "totals", "devices",
+                          "links", "node_io", "tensor_churn", "iterations", "attribution"}) {
+    EXPECT_TRUE(root.Find(key) != nullptr) << "missing required key: " << key;
+  }
+  EXPECT_EQ(root.Find("schema")->as_string(), "harmony-run-report");
+  EXPECT_EQ(root.Find("scheme")->as_string(), "harmony-pp");
+  ASSERT_EQ(root.Find("devices")->as_array().size(), 2u);
+  // record_timeline was on, so the queue timelines must have been captured.
+  EXPECT_FALSE(result.report.link_queue_timeline.empty());
+
+  if (g_update_golden) {
+    std::ofstream out(HARMONY_EXPLAIN_GOLDEN_PATH, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << HARMONY_EXPLAIN_GOLDEN_PATH;
+    out << document;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden updated: " << HARMONY_EXPLAIN_GOLDEN_PATH;
+  }
+
+  std::ifstream in(HARMONY_EXPLAIN_GOLDEN_PATH);
+  ASSERT_TRUE(in.good()) << "missing golden file " << HARMONY_EXPLAIN_GOLDEN_PATH
+                         << " — regenerate with --update_golden";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(document, golden.str())
+      << "explain output drifted from the committed golden; if intentional, regenerate "
+         "with: build/tests/explain_golden_test --update_golden";
+}
+
+}  // namespace
+}  // namespace harmony
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  harmony::g_update_golden = argc > 1;
+  return RUN_ALL_TESTS();
+}

@@ -22,6 +22,7 @@
 #include "src/sim/fault_plan.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
+#include "tests/test_models.h"
 
 namespace harmony {
 namespace {
@@ -184,26 +185,8 @@ TEST(FaultInjectorTest, OutOfRangeGpuTargetIsDroppedNotFatal) {
 
 // ---- Session-level failure reports ------------------------------------------------------------
 
-Model FaultModel(int layers = 8) {
-  UniformModelConfig config;
-  config.num_layers = layers;
-  config.param_bytes = 8 * kMiB;
-  config.act_bytes_per_sample = 2 * kMiB;
-  config.optimizer_state_factor = 1.0;
-  config.fwd_flops_per_sample = 1e9;
-  return MakeUniformModel(config);
-}
-
-SessionConfig FaultConfig(int n_gpus, int microbatches) {
-  SessionConfig config;
-  config.server.num_gpus = n_gpus;
-  config.server.gpu = TestGpu(26 * kMiB, TFlops(1.0));
-  config.scheme = Scheme::kHarmonyPp;
-  config.microbatches = microbatches;
-  config.iterations = 4;
-  config.prefetch = false;
-  return config;
-}
+using test_models::FaultConfig;
+using test_models::FaultModel;
 
 TEST(FaultSessionTest, FailStopProducesTypedReportNotCrash) {
   const Model model = FaultModel();

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 
 #include "src/core/session.h"
 #include "src/graph/model_zoo.h"
@@ -15,57 +16,18 @@
 #include "src/numeric/plan_executor.h"
 #include "src/numeric/reference.h"
 #include "src/util/rng.h"
+#include "tests/test_models.h"
 
 namespace harmony {
 namespace {
-
-Scheme PickScheme(Rng& rng, int max_gpus_hint) {
-  (void)max_gpus_hint;
-  constexpr Scheme kSchemes[] = {Scheme::kBaselineDp, Scheme::kBaselinePp, Scheme::kHarmonyDp,
-                                 Scheme::kHarmonyPp, Scheme::kHarmonyTp};
-  return kSchemes[rng.NextBounded(5)];
-}
 
 class RandomRunTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomRunTest, CompletesAtMinimalFeasibleCapacity) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
-
-  UniformModelConfig mc;
-  mc.name = "fuzz";
-  mc.num_layers = 2 + static_cast<int>(rng.NextBounded(8));
-  mc.param_bytes = (1 + static_cast<Bytes>(rng.NextBounded(16))) * kMiB;
-  mc.act_bytes_per_sample = (1 + static_cast<Bytes>(rng.NextBounded(4))) * kMiB;
-  mc.stash_bytes_per_sample = static_cast<Bytes>(rng.NextBounded(8)) * kMiB;
-  mc.workspace_bytes_per_sample = static_cast<Bytes>(rng.NextBounded(2)) * kMiB;
-  mc.optimizer_state_factor = static_cast<double>(rng.NextBounded(3));
-  mc.fwd_flops_per_sample = 1e8 + rng.NextDouble() * 1e9;
-  const Model model = MakeUniformModel(mc);
-
-  SessionConfig config;
-  config.scheme = PickScheme(rng, 4);
-  // baseline-pp needs at least one layer per stage.
-  const int max_gpus = std::min(4, mc.num_layers);
-  config.server.num_gpus = 1 + static_cast<int>(rng.NextBounded(
-                                   static_cast<std::uint64_t>(max_gpus)));
-  config.microbatches = 1 + static_cast<int>(rng.NextBounded(4));
-  config.microbatch_size = 1 + static_cast<int>(rng.NextBounded(3));
-  config.iterations = 2;
-  config.pack_size = 1 + static_cast<int>(rng.NextBounded(3));
-  config.grouping = rng.NextBounded(2) == 0;
-  config.group_size = static_cast<int>(rng.NextBounded(3));  // 0 = all
-  config.jit_updates = rng.NextBounded(2) == 0;
-  config.p2p = rng.NextBounded(2) == 0;
-  config.recompute = rng.NextBounded(4) == 0;
-  config.prefetch = rng.NextBounded(2) == 0;
-  config.balanced_packing = rng.NextBounded(2) == 0;
-  config.lookahead_eviction = rng.NextBounded(2) == 0;
-
-  // Minimal feasible capacity: the largest single-task working set plus a sliver. This is
-  // the harshest legal regime — every task must evict almost everything else.
-  const auto peaks = ProbePeakWorkingSet(model, config);
-  const Bytes peak = *std::max_element(peaks.begin(), peaks.end());
-  config.server.gpu = TestGpu(peak + peak / 16 + 1 * kMiB, TFlops(1.0));
+  const Model model = test_models::RandomUniformModel(rng, test_models::FuzzModelRanges());
+  SessionConfig config = test_models::RandomFuzzSession(rng, model.num_layers());
+  test_models::FitMinimalCapacity(model, &config);
 
   const SessionResult result = RunTraining(model, config);
   EXPECT_GT(result.report.makespan, 0.0);
@@ -84,6 +46,91 @@ TEST_P(RandomRunTest, CompletesAtMinimalFeasibleCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomRunTest, ::testing::Range(0, 40));
 
+// Per-tensor churn counters cross-checked against an event-granular recount. With
+// audit_eviction on, the MemorySystem appends every swap-in, eviction (clean-drop or
+// write-back), staged peer write-back, and p2p fetch to the churn audit log; rebuilding the
+// per-tensor counters from that log must reproduce report.tensor_churn *exactly*, and the
+// per-device event sums must equal the MemoryCounters byte totals. Seed parity flips the
+// write-back-clean policy so both eviction flavors are exercised.
+class ChurnRecountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChurnRecountTest, AuditLogRecountMatchesChurnCounters) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 15485863 + 101);
+  const Model model = test_models::RandomUniformModel(rng, test_models::ChurnModelRanges());
+  SessionConfig config = test_models::RandomChurnSession(rng, model.num_layers());
+  MemoryPolicy policy = DefaultPolicyFor(config.scheme, config.p2p);
+  policy.write_back_clean = seed % 2 == 0;
+  config.policy = policy;
+  test_models::FitMinimalCapacity(model, &config);
+
+  const SessionResult result = RunTraining(model, config);
+  ASSERT_FALSE(result.churn_audit_log.empty());
+
+  // Rebuild per-tensor counters and per-device byte totals from the event log.
+  std::map<TensorId, TensorChurnCounters> recount;
+  std::vector<Bytes> swap_in_per_device(static_cast<std::size_t>(config.server.num_gpus), 0);
+  std::vector<Bytes> swap_out_per_device(static_cast<std::size_t>(config.server.num_gpus), 0);
+  for (const ChurnEvent& event : result.churn_audit_log) {
+    TensorChurnCounters& c = recount[event.tensor];
+    const auto device = static_cast<std::size_t>(event.device);
+    switch (event.kind) {
+      case ChurnKind::kSwapIn:
+        ++c.swap_ins;
+        c.swap_in_bytes += event.bytes;
+        swap_in_per_device[device] += event.bytes;
+        break;
+      case ChurnKind::kEvictCleanDrop:
+        ++c.evictions;
+        ++c.clean_drops;
+        c.clean_drop_bytes += event.bytes;
+        break;
+      case ChurnKind::kEvictWriteBack:
+        ++c.evictions;
+        ++c.write_backs;
+        c.swap_out_bytes += event.bytes;
+        swap_out_per_device[device] += event.bytes;
+        break;
+      case ChurnKind::kPeerStageWriteBack:
+        ++c.write_backs;
+        c.swap_out_bytes += event.bytes;
+        swap_out_per_device[device] += event.bytes;
+        break;
+      case ChurnKind::kP2pIn:
+        ++c.p2p_ins;
+        c.p2p_in_bytes += event.bytes;
+        break;
+    }
+  }
+
+  // Every recounted tensor appears in the report, with identical counters.
+  ASSERT_EQ(result.report.tensor_churn.size(), recount.size());
+  for (const RunReport::TensorChurn& entry : result.report.tensor_churn) {
+    auto it = recount.find(entry.tensor);
+    ASSERT_NE(it, recount.end()) << "tensor " << entry.tensor << " missing from recount";
+    const TensorChurnCounters& c = it->second;
+    EXPECT_EQ(entry.evictions, c.evictions) << entry.name;
+    EXPECT_EQ(entry.clean_drops, c.clean_drops) << entry.name;
+    EXPECT_EQ(entry.write_backs, c.write_backs) << entry.name;
+    EXPECT_EQ(entry.swap_ins, c.swap_ins) << entry.name;
+    EXPECT_EQ(entry.p2p_ins, c.p2p_ins) << entry.name;
+    EXPECT_EQ(entry.swap_in_bytes, c.swap_in_bytes) << entry.name;
+    EXPECT_EQ(entry.swap_out_bytes, c.swap_out_bytes) << entry.name;
+    EXPECT_EQ(entry.p2p_in_bytes, c.p2p_in_bytes) << entry.name;
+    EXPECT_EQ(entry.clean_drop_bytes, c.clean_drop_bytes) << entry.name;
+  }
+
+  // The event sums also reproduce the per-device MemoryCounters totals — a third
+  // independent accounting path over the same traffic.
+  for (int d = 0; d < result.report.num_devices(); ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    EXPECT_EQ(swap_in_per_device[i], result.report.device_swap_in[i]) << "gpu" << d;
+    EXPECT_EQ(swap_out_per_device[i], result.report.device_swap_out[i]) << "gpu" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnRecountTest, ::testing::Range(0, 20));
+
 class RandomNumericTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomNumericTest, TrajectoryMatchesReference) {
@@ -97,7 +144,7 @@ TEST_P(RandomNumericTest, TrajectoryMatchesReference) {
   const Model model = MakeMlp(dims);
 
   SessionConfig config;
-  config.scheme = PickScheme(rng, layers);
+  config.scheme = test_models::PickScheme(rng);
   config.server.num_gpus =
       1 + static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(std::min(3, layers))));
   config.microbatches = 1 + static_cast<int>(rng.NextBounded(3));

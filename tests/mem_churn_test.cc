@@ -24,6 +24,7 @@
 #include "src/runtime/next_use.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
+#include "tests/test_models.h"
 
 namespace harmony {
 namespace {
@@ -201,37 +202,9 @@ class SessionAuditChurnTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SessionAuditChurnTest, FullRunsAuditCleanAtMinimalCapacity) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 7);
-
-  UniformModelConfig mc;
-  mc.name = "churn";
-  mc.num_layers = 2 + static_cast<int>(rng.NextBounded(6));
-  mc.param_bytes = (1 + static_cast<Bytes>(rng.NextBounded(8))) * kMiB;
-  mc.act_bytes_per_sample = (1 + static_cast<Bytes>(rng.NextBounded(4))) * kMiB;
-  mc.stash_bytes_per_sample = static_cast<Bytes>(rng.NextBounded(4)) * kMiB;
-  mc.workspace_bytes_per_sample = static_cast<Bytes>(rng.NextBounded(2)) * kMiB;
-  mc.optimizer_state_factor = static_cast<double>(rng.NextBounded(3));
-  mc.fwd_flops_per_sample = 1e8;
-  const Model model = MakeUniformModel(mc);
-
-  SessionConfig config;
-  constexpr Scheme kSchemes[] = {Scheme::kBaselineDp, Scheme::kBaselinePp, Scheme::kHarmonyDp,
-                                 Scheme::kHarmonyPp, Scheme::kHarmonyTp};
-  config.scheme = kSchemes[rng.NextBounded(5)];
-  const int max_gpus = std::min(4, mc.num_layers);
-  config.server.num_gpus =
-      1 + static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(max_gpus)));
-  config.microbatches = 1 + static_cast<int>(rng.NextBounded(3));
-  config.microbatch_size = 1 + static_cast<int>(rng.NextBounded(2));
-  config.iterations = 2;
-  config.pack_size = 1 + static_cast<int>(rng.NextBounded(2));
-  config.p2p = rng.NextBounded(2) == 0;
-  config.prefetch = rng.NextBounded(2) == 0;
-  config.lookahead_eviction = rng.NextBounded(2) == 0;
-  config.audit_eviction = true;
-
-  const auto peaks = ProbePeakWorkingSet(model, config);
-  const Bytes peak = *std::max_element(peaks.begin(), peaks.end());
-  config.server.gpu = TestGpu(peak + peak / 16 + 1 * kMiB, TFlops(1.0));
+  const Model model = test_models::RandomUniformModel(rng, test_models::ChurnModelRanges());
+  SessionConfig config = test_models::RandomChurnSession(rng, model.num_layers());
+  test_models::FitMinimalCapacity(model, &config);
 
   const SessionResult result = RunTraining(model, config);
   EXPECT_GT(result.report.makespan, 0.0);

@@ -77,8 +77,12 @@ int Run(int argc, char** argv) {
       .Define("tuner_threads", "0",
               "worker threads for the tuner sweep (0 = one per hardware thread)")
       .Define("timeline", "false", "print the ASCII schedule timeline")
+      .Define("explain", "false",
+              "print the bottleneck attribution (dominant stall per device, top contended "
+              "link, top-churn tensors)")
       .Define("trace", "", "write a chrome://tracing JSON to this path")
       .Define("csv", "", "write per-iteration metrics CSV to this path")
+      .Define("json", "", "write the full structured run report (JSON) to this path")
       .Define("faults", "",
               "fault schedule: 'fail@<t>:gpu<i>', 'degrade@<t>:gpu<i>:<scale>:<dur>', "
               "'degrade@<t>:host:<scale>:<dur>', 'mem@<t>:<scale>:<dur>', or "
@@ -161,6 +165,9 @@ int Run(int argc, char** argv) {
                 "samples/s\n",
                 tuned.best.pack_size, tuned.best.group_size, tuned.best.microbatch_size,
                 tuned.best.microbatches, tuned.best.throughput);
+    if (!tuned.best.why.empty()) {
+      std::printf("tuner pick why: %s\n", tuned.best.why.c_str());
+    }
     return 0;
   }
 
@@ -251,6 +258,9 @@ int Run(int argc, char** argv) {
   }
   links.Print(std::cout);
 
+  if (flags.GetBool("explain")) {
+    std::cout << "\n" << Attribute(result.report).Render();
+  }
   if (flags.GetBool("timeline")) {
     std::cout << "\n" << RenderTimeline(result.plan, result.timeline);
   }
@@ -262,9 +272,17 @@ int Run(int argc, char** argv) {
     }
     std::cout << "\nwrote per-iteration CSV to " << flags.Get("csv") << "\n";
   }
+  if (!flags.Get("json").empty()) {
+    const Status written = WriteReportJson(result.report, flags.Get("json"));
+    if (!written.ok()) {
+      std::cerr << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote structured report to " << flags.Get("json") << "\n";
+  }
   if (!flags.Get("trace").empty()) {
     const Status written =
-        WriteChromeTrace(result.plan, result.timeline, flags.Get("trace"));
+        WriteChromeTrace(result.plan, result.timeline, flags.Get("trace"), &result.report);
     if (!written.ok()) {
       std::cerr << written.ToString() << "\n";
       return 1;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Sanitizer job for the observability layer (DESIGN.md §8).
+#
+# Builds the tree twice — once under ThreadSanitizer, once under UBSan — and runs the
+# test selections that exercise the new instrumentation hot paths:
+#   - `ctest -L trace`  : the observability suite (conservation invariants, churn
+#                         recounts, golden --explain output),
+#   - `ctest -R tuner`  : the tuner, whose ParallelFor profiling now calls Attribute()
+#                         concurrently from worker threads (the one genuinely
+#                         multi-threaded consumer of the span/report machinery).
+# Pass --full to run the entire ctest suite under each sanitizer instead (slower).
+#
+# Usage: tools/run_sanitizer_suite.sh [--full]
+# Build trees land in build-tsan/ and build-ubsan/ next to the source tree.
+set -eu
+
+full=0
+if [[ "${1:-}" == "--full" ]]; then
+  full=1
+fi
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_one() {
+  local sanitizer=$1 build_dir=$2
+  echo "==== HARMONY_SANITIZE=$sanitizer -> $build_dir ===="
+  cmake -B "$repo/$build_dir" -S "$repo" -DHARMONY_SANITIZE="$sanitizer" >/dev/null
+  cmake --build "$repo/$build_dir" -j "$jobs"
+  if [[ $full -eq 1 ]]; then
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs")
+  else
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L trace)
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -R tuner)
+  fi
+  echo "==== $sanitizer: clean ===="
+}
+
+run_one thread build-tsan
+run_one undefined build-ubsan
+echo "OK   both sanitizer jobs clean"
