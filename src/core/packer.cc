@@ -19,6 +19,8 @@ std::vector<int> MakePackBoundaries(int num_layers, int pack_size) {
 }
 
 std::vector<int> AssignPacksRoundRobin(int num_packs, int num_devices) {
+  // A negative count cast to std::size_t would request a near-2^64-element vector.
+  HCHECK_GE(num_packs, 0);
   HCHECK_GT(num_devices, 0);
   std::vector<int> assignment(static_cast<std::size_t>(num_packs));
   for (int p = 0; p < num_packs; ++p) {
@@ -51,6 +53,7 @@ std::vector<int> AssignPacksLpt(const std::vector<double>& pack_costs, int num_d
 }
 
 std::vector<int> AssignPacksZigzag(int num_packs, int num_devices) {
+  HCHECK_GE(num_packs, 0);
   HCHECK_GT(num_devices, 0);
   std::vector<int> assignment(static_cast<std::size_t>(num_packs));
   for (int p = 0; p < num_packs; ++p) {
@@ -83,9 +86,15 @@ std::vector<int> AssignPacksBalanced(const std::vector<double>& pack_costs, int 
 
 double MaxDeviceLoad(const std::vector<double>& pack_costs, const std::vector<int>& assignment,
                      int num_devices) {
-  HCHECK_EQ(pack_costs.size(), assignment.size());
+  HCHECK_EQ(pack_costs.size(), assignment.size())
+      << "pack_costs and assignment describe different pack counts";
+  // Without this, num_devices <= 0 dereferences max_element() of an empty range.
+  HCHECK_GT(num_devices, 0);
   std::vector<double> load(static_cast<std::size_t>(num_devices), 0.0);
   for (std::size_t p = 0; p < pack_costs.size(); ++p) {
+    HCHECK_GE(assignment[p], 0) << "pack " << p << " assigned to a negative device";
+    HCHECK_LT(assignment[p], num_devices)
+        << "pack " << p << " assigned to device " << assignment[p] << " of " << num_devices;
     load[static_cast<std::size_t>(assignment[p])] += pack_costs[p];
   }
   return *std::max_element(load.begin(), load.end());

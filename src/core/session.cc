@@ -10,6 +10,7 @@
 #include "src/hw/transfer_manager.h"
 #include "src/runtime/collective.h"
 #include "src/runtime/demand.h"
+#include "src/runtime/plan_lint.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
 #include "src/util/units.h"
@@ -196,6 +197,18 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   for (const GpuSpec& gpu : machine.gpus) {
     capacities.push_back(gpu.memory_bytes);
   }
+  // Static lint (cheap tier) before anything executes: catches structural corruption,
+  // pin-balance leaks, collective rank mismatches, and rendezvous deadlocks that would
+  // otherwise surface as hangs or quiescence failures mid-run. Silent when clean.
+  if (config.lint_plan) {
+    LintOptions lint_options;
+    lint_options.deep = false;
+    lint_options.device_capacities = capacities;
+    const LintReport lint = LintPlan(plan, registry, lint_options);
+    HCHECK_EQ(lint.num_errors(), 0) << "plan failed static lint — refusing to run:\n"
+                                    << lint.Render();
+  }
+
   MemorySystem memory(&sim, &transfers, &registry, &machine.topology, capacities, policy);
   memory.set_audit_eviction(config.audit_eviction);
   CollectiveEngine collective(&sim, &transfers);

@@ -1059,6 +1059,27 @@ void MemorySystem::PumpDirty() {
   }
 }
 
+std::vector<std::pair<TensorId, int>> MemorySystem::PinnedTensors() const {
+  std::vector<std::pair<TensorId, int>> pinned;
+  for (TensorId id = 0; id < registry_->size(); ++id) {
+    const int pins = registry_->state(id).pin_count;
+    if (pins != 0) {
+      pinned.emplace_back(id, pins);
+    }
+  }
+  return pinned;
+}
+
+Bytes MemorySystem::PinnedBytes() const {
+  Bytes total = 0;
+  for (TensorId id = 0; id < registry_->size(); ++id) {
+    if (registry_->state(id).pin_count > 0) {
+      total += registry_->meta(id).bytes;
+    }
+  }
+  return total;
+}
+
 Status MemorySystem::CheckQuiescent() const {
   for (const auto& manager : managers_) {
     if (!manager->pending_.empty()) {

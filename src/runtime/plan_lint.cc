@@ -1,0 +1,908 @@
+#include "src/runtime/plan_lint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace harmony {
+
+const char* LintCheckName(LintCheck check) {
+  switch (check) {
+    case LintCheck::kStructure:
+      return "structure";
+    case LintCheck::kDanglingReference:
+      return "dangling-reference";
+    case LintCheck::kPinBalance:
+      return "pin-balance";
+    case LintCheck::kCollective:
+      return "collective";
+    case LintCheck::kFeasibility:
+      return "feasibility";
+    case LintCheck::kCrossDeviceHazard:
+      return "cross-device-hazard";
+    case LintCheck::kLifetime:
+      return "lifetime";
+    case LintCheck::kStaleWeightRead:
+      return "stale-weight-read";
+  }
+  return "?";
+}
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kError:
+      return "error";
+    case LintSeverity::kWarning:
+      return "warning";
+  }
+  return "?";
+}
+
+int LintReport::num_errors() const {
+  int n = 0;
+  for (const LintFinding& f : findings) {
+    n += f.severity == LintSeverity::kError ? 1 : 0;
+  }
+  return n;
+}
+
+int LintReport::num_warnings() const {
+  int n = 0;
+  for (const LintFinding& f : findings) {
+    n += f.severity == LintSeverity::kWarning ? 1 : 0;
+  }
+  return n;
+}
+
+std::string LintReport::Render() const {
+  std::ostringstream os;
+  os << "plan lint [" << scheme << "]: " << num_tasks << " tasks, " << num_devices
+     << " devices (" << (deep_ran ? "cheap+deep" : "cheap only") << ")";
+  if (clean()) {
+    os << " — clean\n";
+    return os.str();
+  }
+  os << " — " << num_errors() << " error(s), " << num_warnings() << " warning(s)"
+     << (truncated ? " [truncated]" : "") << "\n";
+  for (const LintFinding& f : findings) {
+    os << (f.severity == LintSeverity::kError ? "ERROR" : "WARN ") << " ["
+       << LintCheckName(f.check) << "] " << f.message << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string LintReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"schema\": \"harmony-lint-report\", \"version\": 1";
+  os << ", \"scheme\": " << JsonEscape(scheme);
+  os << ", \"tasks\": " << num_tasks << ", \"devices\": " << num_devices;
+  os << ", \"deep\": " << (deep_ran ? "true" : "false");
+  os << ", \"truncated\": " << (truncated ? "true" : "false");
+  os << ", \"errors\": " << num_errors() << ", \"warnings\": " << num_warnings();
+  os << ", \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    if (i > 0) {
+      os << ", ";
+    }
+    os << "{\"check\": " << JsonEscape(LintCheckName(f.check));
+    os << ", \"severity\": " << JsonEscape(LintSeverityName(f.severity));
+    os << ", \"message\": " << JsonEscape(f.message);
+    os << ", \"tasks\": [";
+    for (std::size_t t = 0; t < f.tasks.size(); ++t) {
+      os << (t > 0 ? ", " : "") << f.tasks[t];
+    }
+    os << "]";
+    os << ", \"tensor\": ";
+    if (f.tensor == kInvalidTensor) {
+      os << "null";
+    } else {
+      os << f.tensor;
+    }
+    os << ", \"device\": ";
+    if (f.device < 0) {
+      os << "null";
+    } else {
+      os << f.device;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+// How one task touches one tensor (bitmask; a task can both read and write, e.g. an
+// accumulating backward or an in-place all-reduce).
+struct Access {
+  TaskId task;
+  bool read = false;
+  bool write = false;
+  bool free = false;
+};
+
+class Linter {
+ public:
+  Linter(const Plan& plan, const TensorRegistry& registry, const LintOptions& options)
+      : plan_(plan), registry_(registry), options_(options) {
+    report_.scheme = plan.scheme;
+    report_.num_tasks = static_cast<int>(plan.tasks.size());
+    report_.num_devices = plan.num_devices();
+  }
+
+  LintReport Run() {
+    CheckStructure();
+    CheckTensorReferences();
+    if (!structure_ok_) {
+      // Without a sane task graph the remaining checks would chase garbage ids.
+      return std::move(report_);
+    }
+    CheckPinBalance();
+    CheckCollectives();
+    CheckFeasibility();
+    if (options_.deep && !tensor_refs_broken_) {
+      if (report_.num_tasks > options_.max_deep_tasks) {
+        report_.deep_ran = false;
+      } else {
+        report_.deep_ran = true;
+        BuildHappensBefore();
+        BuildAccessMap();
+        CheckCrossDeviceHazards();
+        CheckLifetimes();
+        CheckUninitializedReads();
+        CheckWeightVersions();
+      }
+    }
+    return std::move(report_);
+  }
+
+ private:
+  std::size_t st(int v) const { return static_cast<std::size_t>(v); }
+  int n() const { return static_cast<int>(plan_.tasks.size()); }
+
+  const Task& task(TaskId id) const { return plan_.tasks[st(id)]; }
+
+  bool Emit(LintFinding finding) {
+    if (static_cast<int>(report_.findings.size()) >= options_.max_findings) {
+      report_.truncated = true;
+      return false;
+    }
+    report_.findings.push_back(std::move(finding));
+    return true;
+  }
+
+  bool Error(LintCheck check, std::string message, std::vector<TaskId> tasks = {},
+             TensorId tensor = kInvalidTensor, int device = -1) {
+    LintFinding f;
+    f.check = check;
+    f.severity = LintSeverity::kError;
+    f.message = std::move(message);
+    f.tasks = std::move(tasks);
+    f.tensor = tensor;
+    f.device = device;
+    return Emit(std::move(f));
+  }
+
+  bool Warn(LintCheck check, std::string message, std::vector<TaskId> tasks = {},
+            TensorId tensor = kInvalidTensor, int device = -1) {
+    LintFinding f;
+    f.check = check;
+    f.severity = LintSeverity::kWarning;
+    f.message = std::move(message);
+    f.tasks = std::move(tasks);
+    f.tensor = tensor;
+    f.device = device;
+    return Emit(std::move(f));
+  }
+
+  std::string TaskName(TaskId id) const {
+    return "task " + std::to_string(id) + " (" + task(id).DebugName() + ")";
+  }
+
+  std::string TensorName(TensorId id) const {
+    return "tensor " + std::to_string(id) + " (" + registry_.meta(id).name + ")";
+  }
+
+  // ---- cheap tier ---------------------------------------------------------------------------
+
+  void CheckStructure() {
+    structure_ok_ = true;
+    for (int i = 0; i < n(); ++i) {
+      if (plan_.tasks[st(i)].id != i) {
+        structure_ok_ = false;
+        Error(LintCheck::kStructure,
+              "task id mismatch at index " + std::to_string(i) + ": id is " +
+                  std::to_string(plan_.tasks[st(i)].id),
+              {});
+      }
+    }
+    if (!structure_ok_) {
+      return;  // ids are the addressing scheme for everything below
+    }
+
+    std::vector<int> seen(st(n()), 0);
+    for (int d = 0; d < plan_.num_devices(); ++d) {
+      for (TaskId t : plan_.per_device_order[st(d)]) {
+        if (t < 0 || t >= n()) {
+          structure_ok_ = false;
+          Error(LintCheck::kStructure,
+                "device " + std::to_string(d) + " order references unknown task " +
+                    std::to_string(t),
+                {}, kInvalidTensor, d);
+          continue;
+        }
+        if (task(t).device != d) {
+          structure_ok_ = false;
+          Error(LintCheck::kStructure,
+                TaskName(t) + " is bound to device " + std::to_string(task(t).device) +
+                    " but queued on device " + std::to_string(d),
+                {t}, kInvalidTensor, d);
+        }
+        if (++seen[st(t)] > 1) {
+          structure_ok_ = false;
+          Error(LintCheck::kStructure, TaskName(t) + " queued more than once", {t});
+        }
+      }
+    }
+    for (int i = 0; i < n(); ++i) {
+      if (seen[st(i)] == 0) {
+        structure_ok_ = false;
+        Error(LintCheck::kStructure, TaskName(i) + " not queued on any device", {i});
+      }
+    }
+    for (const Task& t : plan_.tasks) {
+      if (t.device < 0 || t.device >= plan_.num_devices()) {
+        structure_ok_ = false;
+        Error(LintCheck::kStructure,
+              TaskName(t.id) + " bound to nonexistent device " + std::to_string(t.device),
+              {t.id}, kInvalidTensor, t.device);
+      }
+      for (TaskId dep : t.deps) {
+        if (dep < 0 || dep >= n()) {
+          structure_ok_ = false;
+          Error(LintCheck::kStructure,
+                TaskName(t.id) + " depends on unknown task " + std::to_string(dep), {t.id});
+        }
+      }
+    }
+    if (!structure_ok_) {
+      return;
+    }
+
+    // Acyclicity of deps + per-device order (Kahn). The topological order doubles as the
+    // processing order for the deep tier's reachability pass.
+    std::vector<std::vector<TaskId>> out(st(n()));
+    std::vector<int> indegree(st(n()), 0);
+    auto add_edge = [&](TaskId from, TaskId to) {
+      out[st(from)].push_back(to);
+      ++indegree[st(to)];
+    };
+    for (const Task& t : plan_.tasks) {
+      for (TaskId dep : t.deps) {
+        add_edge(dep, t.id);
+      }
+    }
+    for (const auto& order : plan_.per_device_order) {
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        add_edge(order[i - 1], order[i]);
+      }
+    }
+    std::queue<TaskId> ready;
+    for (int i = 0; i < n(); ++i) {
+      if (indegree[st(i)] == 0) {
+        ready.push(i);
+      }
+    }
+    topo_.clear();
+    topo_.reserve(st(n()));
+    while (!ready.empty()) {
+      const TaskId t = ready.front();
+      ready.pop();
+      topo_.push_back(t);
+      for (TaskId next : out[st(t)]) {
+        if (--indegree[st(next)] == 0) {
+          ready.push(next);
+        }
+      }
+    }
+    if (static_cast<int>(topo_.size()) != n()) {
+      structure_ok_ = false;
+      std::vector<TaskId> stuck;
+      for (int i = 0; i < n() && stuck.size() < 8; ++i) {
+        if (indegree[st(i)] > 0) {
+          stuck.push_back(i);
+        }
+      }
+      Error(LintCheck::kStructure,
+            "dependency graph plus per-device order has a cycle (" +
+                std::to_string(n() - static_cast<int>(topo_.size())) +
+                " tasks unreachable, first stuck: " +
+                (stuck.empty() ? std::string("?") : TaskName(stuck.front())) + ")",
+            std::move(stuck));
+    }
+    successors_ = std::move(out);
+  }
+
+  // Every tensor id a task mentions must exist. Walks all five id lists per task.
+  void CheckTensorReferences() {
+    tensor_refs_broken_ = false;
+    auto check_list = [&](const Task& t, const std::vector<TensorId>& ids, const char* what) {
+      for (TensorId id : ids) {
+        if (id < 0 || id >= registry_.size()) {
+          tensor_refs_broken_ = true;
+          if (!Error(LintCheck::kDanglingReference,
+                     TaskName(t.id) + " " + what + " references tensor " +
+                         std::to_string(id) + " outside the registry (size " +
+                         std::to_string(registry_.size()) + ")",
+                     {t.id}, id, t.device)) {
+            return;
+          }
+        }
+      }
+    };
+    for (const Task& t : plan_.tasks) {
+      check_list(t, t.working_set.fetch, "fetch list");
+      check_list(t, t.working_set.accumulate, "accumulate list");
+      check_list(t, t.working_set.allocate, "allocate list");
+      check_list(t, t.dirty_outputs, "dirty-output list");
+      check_list(t, t.free_after, "free-after list");
+    }
+  }
+
+  // The engine pins once per working-set entry on Acquire and unpins once per entry on
+  // Release; a duplicate entry double-pins and the release leaves a dangling pin — a
+  // guaranteed quiescence failure after the run. free_after must name distinct tensors
+  // from the task's own working set (FreeTensor on a pinned or in-flight tensor aborts).
+  void CheckPinBalance() {
+    std::vector<TensorId> ws;
+    for (const Task& t : plan_.tasks) {
+      ws.clear();
+      ws.insert(ws.end(), t.working_set.fetch.begin(), t.working_set.fetch.end());
+      ws.insert(ws.end(), t.working_set.accumulate.begin(), t.working_set.accumulate.end());
+      ws.insert(ws.end(), t.working_set.allocate.begin(), t.working_set.allocate.end());
+      std::vector<TensorId> sorted = ws;
+      std::sort(sorted.begin(), sorted.end());
+      const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+      if (dup != sorted.end()) {
+        Error(LintCheck::kPinBalance,
+              TaskName(t.id) + " pins " + TensorName(*dup) +
+                  " more than once in one working set — acquire/release pairing leaks a pin",
+              {t.id}, *dup, t.device);
+      }
+      std::vector<TensorId> frees = t.free_after;
+      std::sort(frees.begin(), frees.end());
+      const auto dup_free = std::adjacent_find(frees.begin(), frees.end());
+      if (dup_free != frees.end()) {
+        Error(LintCheck::kPinBalance,
+              TaskName(t.id) + " frees " + TensorName(*dup_free) + " twice in free_after",
+              {t.id}, *dup_free, t.device);
+      }
+      for (TensorId id : t.free_after) {
+        if (std::find(ws.begin(), ws.end(), id) == ws.end()) {
+          Error(LintCheck::kPinBalance,
+                TaskName(t.id) + " frees " + TensorName(id) +
+                    " that is not in its own working set — the free is unordered with the "
+                    "tensor's last use",
+                {t.id}, id, t.device);
+        }
+      }
+    }
+  }
+
+  void CheckCollectives() {
+    std::map<int, std::vector<const Task*>> groups;
+    for (const Task& t : plan_.tasks) {
+      if (t.kind != TaskKind::kAllReduce) {
+        continue;
+      }
+      if (t.collective_group < 0) {
+        Error(LintCheck::kCollective, TaskName(t.id) + " has no collective group", {t.id},
+              kInvalidTensor, t.device);
+        continue;
+      }
+      groups[t.collective_group].push_back(&t);
+    }
+
+    // Cardinality consensus per payload kind: every group reducing the same kind of data
+    // must have the same member count (a dropped participant shrinks exactly one group).
+    std::map<int, std::map<std::size_t, int>> size_votes;  // payload kind -> size -> count
+    for (const auto& [group, members] : groups) {
+      size_votes[static_cast<int>(members.front()->collective_data)][members.size()]++;
+    }
+    std::map<int, std::size_t> modal_size;
+    for (const auto& [kind, votes] : size_votes) {
+      std::size_t best = 0;
+      int best_count = 0;
+      for (const auto& [size, count] : votes) {
+        if (count > best_count) {
+          best = size;
+          best_count = count;
+        }
+      }
+      modal_size[kind] = best;
+    }
+
+    for (const auto& [group, members] : groups) {
+      std::vector<TaskId> ids;
+      for (const Task* m : members) {
+        ids.push_back(m->id);
+      }
+      // Distinct devices (two members on one device would rendezvous with themselves and
+      // starve the real peer).
+      std::vector<int> devices;
+      std::vector<int> replicas;
+      for (const Task* m : members) {
+        devices.push_back(m->device);
+        replicas.push_back(m->replica);
+        if (m->collective_bytes != members.front()->collective_bytes) {
+          Error(LintCheck::kCollective,
+                "collective group " + std::to_string(group) + ": " + TaskName(m->id) +
+                    " moves " + std::to_string(m->collective_bytes) + " bytes but " +
+                    TaskName(members.front()->id) + " moves " +
+                    std::to_string(members.front()->collective_bytes),
+                ids);
+          break;
+        }
+      }
+      for (const Task* m : members) {
+        if (m->collective_data != members.front()->collective_data) {
+          Error(LintCheck::kCollective,
+                "collective group " + std::to_string(group) +
+                    " mixes payload kinds across members",
+                ids);
+          break;
+        }
+      }
+      std::sort(devices.begin(), devices.end());
+      if (std::adjacent_find(devices.begin(), devices.end()) != devices.end()) {
+        Error(LintCheck::kCollective,
+              "collective group " + std::to_string(group) + " has two members on device " +
+                  std::to_string(*std::adjacent_find(devices.begin(), devices.end())),
+              ids);
+      }
+      // Rank matching: member replica/shard indices must be dense {0..k-1} — exactly one
+      // participant per replica. A dropped participant leaves a hole or shifts the count.
+      std::sort(replicas.begin(), replicas.end());
+      for (std::size_t r = 0; r < replicas.size(); ++r) {
+        if (replicas[r] != static_cast<int>(r)) {
+          Error(LintCheck::kCollective,
+                "collective group " + std::to_string(group) + " expects one member per " +
+                    "replica 0.." + std::to_string(replicas.size() - 1) + " but rank " +
+                    std::to_string(r) + " is " +
+                    (replicas[r] > static_cast<int>(r) ? "missing" : "duplicated") +
+                    " (replica " + std::to_string(replicas[r]) + " found)",
+                ids);
+          break;
+        }
+      }
+      const std::size_t expected = modal_size[static_cast<int>(members.front()->collective_data)];
+      if (members.size() != expected) {
+        Error(LintCheck::kCollective,
+              "collective group " + std::to_string(group) + " has " +
+                  std::to_string(members.size()) + " participant(s) but sibling groups " +
+                  "reducing the same payload have " + std::to_string(expected) +
+                  " — a rank would wait forever or reduce partial data",
+              ids);
+      }
+    }
+
+    CheckRendezvousDeadlock(groups);
+  }
+
+  // "No rank waits forever": collapse each collective group into one rendezvous node (all
+  // members must be schedulable together) and re-check acyclicity. Two groups crossed in
+  // two device orders collapse into a 2-cycle here while the plain task graph stays
+  // acyclic — the classic all-reduce deadlock.
+  void CheckRendezvousDeadlock(const std::map<int, std::vector<const Task*>>& groups) {
+    if (groups.empty()) {
+      return;
+    }
+    // node id: merged group nodes first, then singleton tasks.
+    std::vector<int> node_of(st(n()), -1);
+    int next = 0;
+    std::vector<int> group_ids;
+    for (const auto& [group, members] : groups) {
+      for (const Task* m : members) {
+        node_of[st(m->id)] = next;
+      }
+      group_ids.push_back(group);
+      ++next;
+    }
+    const int num_groups = next;
+    for (int i = 0; i < n(); ++i) {
+      if (node_of[st(i)] < 0) {
+        node_of[st(i)] = next++;
+      }
+    }
+    std::vector<std::set<int>> out(st(next));
+    std::vector<int> indegree(st(next), 0);
+    auto add_edge = [&](TaskId from, TaskId to) {
+      const int a = node_of[st(from)];
+      const int b = node_of[st(to)];
+      if (a != b && out[st(a)].insert(b).second) {
+        ++indegree[st(b)];
+      }
+    };
+    for (const Task& t : plan_.tasks) {
+      for (TaskId dep : t.deps) {
+        add_edge(dep, t.id);
+      }
+    }
+    for (const auto& order : plan_.per_device_order) {
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        add_edge(order[i - 1], order[i]);
+      }
+    }
+    std::queue<int> ready;
+    for (int i = 0; i < next; ++i) {
+      if (indegree[st(i)] == 0) {
+        ready.push(i);
+      }
+    }
+    int processed = 0;
+    while (!ready.empty()) {
+      const int v = ready.front();
+      ready.pop();
+      ++processed;
+      for (int succ : out[st(v)]) {
+        if (--indegree[st(succ)] == 0) {
+          ready.push(succ);
+        }
+      }
+    }
+    if (processed != next) {
+      std::vector<int> stuck_groups;
+      for (int g = 0; g < num_groups; ++g) {
+        if (indegree[st(g)] > 0) {
+          stuck_groups.push_back(group_ids[st(g)]);
+        }
+      }
+      std::ostringstream os;
+      os << "collective rendezvous deadlock: group(s)";
+      for (std::size_t i = 0; i < stuck_groups.size() && i < 8; ++i) {
+        os << " " << stuck_groups[i];
+      }
+      os << " are crossed in the device orders — some rank waits forever";
+      Error(LintCheck::kCollective, os.str());
+    }
+  }
+
+  // A single task's working set must fit in raw device capacity; no eviction policy can
+  // save a plan that violates this.
+  void CheckFeasibility() {
+    if (options_.device_capacities.empty()) {
+      return;
+    }
+    for (const Task& t : plan_.tasks) {
+      if (t.device < 0 || st(t.device) >= options_.device_capacities.size()) {
+        continue;  // structure checks already flagged out-of-range devices
+      }
+      Bytes total = t.working_set.scratch_bytes;
+      auto add = [&](const std::vector<TensorId>& ids) {
+        for (TensorId id : ids) {
+          total += registry_.meta(id).bytes;
+        }
+      };
+      add(t.working_set.fetch);
+      add(t.working_set.accumulate);
+      add(t.working_set.allocate);
+      const Bytes capacity = options_.device_capacities[st(t.device)];
+      if (total > capacity) {
+        Error(LintCheck::kFeasibility,
+              TaskName(t.id) + " needs " + FormatBytes(total) + " resident at once but gpu" +
+                  std::to_string(t.device) + " holds " + FormatBytes(capacity) +
+                  " — infeasible even with perfect eviction",
+              {t.id}, kInvalidTensor, t.device);
+      }
+    }
+  }
+
+  // ---- deep tier ----------------------------------------------------------------------------
+
+  // Reachability over the happens-before relation (deps + per-device order), one bitset row
+  // per task, filled in reverse topological order.
+  void BuildHappensBefore() {
+    blocks_ = (st(n()) + 63) / 64;
+    reach_.assign(st(n()) * blocks_, 0);
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const TaskId u = *it;
+      std::uint64_t* row = &reach_[st(u) * blocks_];
+      for (TaskId v : successors_[st(u)]) {
+        row[st(v) / 64] |= std::uint64_t{1} << (st(v) % 64);
+        const std::uint64_t* succ = &reach_[st(v) * blocks_];
+        for (std::size_t b = 0; b < blocks_; ++b) {
+          row[b] |= succ[b];
+        }
+      }
+    }
+  }
+
+  bool Reaches(TaskId from, TaskId to) const {
+    return (reach_[st(from) * blocks_ + st(to) / 64] >> (st(to) % 64)) & 1;
+  }
+
+  bool Ordered(TaskId a, TaskId b) const { return Reaches(a, b) || Reaches(b, a); }
+
+  void BuildAccessMap() {
+    accesses_.assign(st(registry_.size()), {});
+    auto note = [&](TensorId id, TaskId t, bool read, bool write, bool free) {
+      auto& list = accesses_[st(id)];
+      if (!list.empty() && list.back().task == t) {
+        list.back().read |= read;
+        list.back().write |= write;
+        list.back().free |= free;
+        return;
+      }
+      list.push_back(Access{t, read, write, free});
+    };
+    for (const Task& t : plan_.tasks) {
+      for (TensorId id : t.working_set.fetch) {
+        note(id, t.id, /*read=*/true, /*write=*/false, /*free=*/false);
+      }
+      // Accumulate entries are read-modify-write and double as definitions (zero-init when
+      // no copy exists); allocate entries are definitions of fresh contents.
+      for (TensorId id : t.working_set.accumulate) {
+        note(id, t.id, /*read=*/true, /*write=*/true, /*free=*/false);
+      }
+      for (TensorId id : t.working_set.allocate) {
+        note(id, t.id, /*read=*/false, /*write=*/true, /*free=*/false);
+      }
+      for (TensorId id : t.dirty_outputs) {
+        note(id, t.id, /*read=*/false, /*write=*/true, /*free=*/false);
+      }
+      for (TensorId id : t.free_after) {
+        note(id, t.id, /*read=*/false, /*write=*/false, /*free=*/true);
+      }
+    }
+  }
+
+  // Two tasks on different devices touching the same tensor with at least one writer and no
+  // ordering path is a data race: residency is move-not-copy, so who computes on which
+  // bytes depends on event timing. Unordered cross-device read/read is legal but thrashy
+  // (the tensor ping-pongs) — reported as a warning.
+  void CheckCrossDeviceHazards() {
+    for (TensorId id = 0; id < registry_.size(); ++id) {
+      const auto& list = accesses_[st(id)];
+      if (list.size() < 2) {
+        continue;
+      }
+      bool multi_device = false;
+      for (std::size_t i = 1; i < list.size(); ++i) {
+        if (task(list[i].task).device != task(list[0].task).device) {
+          multi_device = true;
+          break;
+        }
+      }
+      if (!multi_device) {
+        continue;  // same-device accesses are always queue-ordered
+      }
+      bool reported_error = false;
+      bool reported_warn = false;
+      for (std::size_t i = 0; i < list.size() && !(reported_error && reported_warn); ++i) {
+        for (std::size_t j = i + 1; j < list.size(); ++j) {
+          const Access& a = list[i];
+          const Access& b = list[j];
+          if (task(a.task).device == task(b.task).device) {
+            continue;
+          }
+          if (Ordered(a.task, b.task)) {
+            continue;
+          }
+          const bool writes = a.write || b.write || a.free || b.free;
+          if (writes && !reported_error) {
+            reported_error = true;
+            Error(LintCheck::kCrossDeviceHazard,
+                  TensorName(id) + ": " + TaskName(a.task) + " on gpu" +
+                      std::to_string(task(a.task).device) + " and " + TaskName(b.task) +
+                      " on gpu" + std::to_string(task(b.task).device) +
+                      " are unordered and at least one writes — cross-device WAR/WAW race",
+                  {a.task, b.task}, id);
+          } else if (!writes && !reported_warn) {
+            reported_warn = true;
+            Warn(LintCheck::kCrossDeviceHazard,
+                 TensorName(id) + ": unordered cross-device readers " + TaskName(a.task) +
+                     " and " + TaskName(b.task) +
+                     " — legal but the single copy will ping-pong between devices",
+                 {a.task, b.task}, id);
+          }
+          if (reported_error && reported_warn) {
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void CheckLifetimes() {
+    for (TensorId id = 0; id < registry_.size(); ++id) {
+      const auto& list = accesses_[st(id)];
+      TaskId freer = kInvalidTask;
+      for (const Access& a : list) {
+        if (!a.free) {
+          continue;
+        }
+        if (freer != kInvalidTask) {
+          Error(LintCheck::kLifetime,
+                TensorName(id) + " freed twice: by " + TaskName(freer) + " and " +
+                    TaskName(a.task),
+                {freer, a.task}, id);
+          break;
+        }
+        freer = a.task;
+      }
+      if (freer == kInvalidTask) {
+        continue;
+      }
+      for (const Access& a : list) {
+        if (a.task == freer || (!a.read && !a.write)) {
+          continue;
+        }
+        if (Reaches(freer, a.task)) {
+          Error(LintCheck::kLifetime,
+                TensorName(id) + ": " + TaskName(a.task) + " uses it after " +
+                    TaskName(freer) + " frees it",
+                {freer, a.task}, id);
+          break;
+        }
+        if (!Reaches(a.task, freer)) {
+          Error(LintCheck::kLifetime,
+                TensorName(id) + ": " + TaskName(a.task) + " is unordered with the free in " +
+                    TaskName(freer) + " — racy end-of-life",
+                {freer, a.task}, id);
+          break;
+        }
+      }
+    }
+  }
+
+  // A fetched tensor must have a defined value: either it was created with a valid host
+  // copy (weights, optimizer state, input batches) or some ordered predecessor wrote it.
+  // A deleted producer edge leaves the consumer fetching undefined bytes.
+  void CheckUninitializedReads() {
+    for (TensorId id = 0; id < registry_.size(); ++id) {
+      const auto& list = accesses_[st(id)];
+      if (list.empty() || registry_.state(id).host_valid) {
+        continue;
+      }
+      for (const Access& a : list) {
+        if (!a.read || a.write) {
+          continue;  // accumulate zero-inits, so read-write accesses define the value
+        }
+        bool defined = false;
+        bool racy_writer = false;
+        for (const Access& w : list) {
+          if (!w.write || w.task == a.task) {
+            continue;
+          }
+          if (Reaches(w.task, a.task)) {
+            defined = true;
+            break;
+          }
+          if (!Reaches(a.task, w.task)) {
+            racy_writer = true;
+          }
+        }
+        if (!defined) {
+          Error(LintCheck::kCrossDeviceHazard,
+                TensorName(id) + ": " + TaskName(a.task) + " fetches it but no ordered " +
+                    "predecessor writes it" +
+                    (racy_writer ? " (a writer exists but is unordered with the read)"
+                                 : " and it has no initial host copy"),
+                {a.task}, id);
+          break;  // one finding per tensor
+        }
+      }
+    }
+  }
+
+  // JIT-update legality: a reader in iteration i must see the weight version produced by
+  // the newest update from an earlier iteration — that update must be ordered before the
+  // reader, or the reader computes on a stale (or torn) version.
+  void CheckWeightVersions() {
+    for (TensorId id = 0; id < registry_.size(); ++id) {
+      if (registry_.meta(id).cls != TensorClass::kWeight) {
+        continue;
+      }
+      const auto& list = accesses_[st(id)];
+      std::vector<const Access*> updates;
+      for (const Access& a : list) {
+        if (a.write && task(a.task).kind == TaskKind::kUpdate) {
+          updates.push_back(&a);
+        }
+      }
+      if (updates.empty()) {
+        continue;
+      }
+      bool reported = false;
+      for (const Access& r : list) {
+        if (!r.read) {
+          continue;
+        }
+        // The newest update strictly before the reader's iteration.
+        const Access* latest = nullptr;
+        for (const Access* u : updates) {
+          if (u->task == r.task) {
+            continue;
+          }
+          if (task(u->task).iteration < task(r.task).iteration &&
+              (latest == nullptr ||
+               task(u->task).iteration > task(latest->task).iteration)) {
+            latest = u;
+          }
+        }
+        if (latest == nullptr) {
+          continue;
+        }
+        if (!Reaches(latest->task, r.task)) {
+          const bool reversed = Reaches(r.task, latest->task);
+          Error(LintCheck::kStaleWeightRead,
+                TensorName(id) + ": " + TaskName(r.task) + " (iteration " +
+                    std::to_string(task(r.task).iteration) + ") " +
+                    (reversed ? "is ordered before" : "is unordered with") + " " +
+                    TaskName(latest->task) + " (iteration " +
+                    std::to_string(task(latest->task).iteration) +
+                    ") — it reads a weight version older than the latest update before it",
+                {latest->task, r.task}, id);
+          reported = true;
+        }
+        if (reported) {
+          break;  // one finding per weight tensor
+        }
+      }
+    }
+  }
+
+  const Plan& plan_;
+  const TensorRegistry& registry_;
+  const LintOptions& options_;
+  LintReport report_;
+
+  bool structure_ok_ = false;
+  bool tensor_refs_broken_ = false;
+  std::vector<TaskId> topo_;
+  std::vector<std::vector<TaskId>> successors_;
+  std::size_t blocks_ = 0;
+  std::vector<std::uint64_t> reach_;
+  std::vector<std::vector<Access>> accesses_;
+};
+
+}  // namespace
+
+LintReport LintPlan(const Plan& plan, const TensorRegistry& registry,
+                    const LintOptions& options) {
+  return Linter(plan, registry, options).Run();
+}
+
+}  // namespace harmony

@@ -287,6 +287,24 @@ class Parser {
         case 'u': {
           unsigned code = 0;
           HARMONY_RETURN_IF_ERROR(ParseHex4(&code));
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("lone low surrogate \\u escape (no preceding high surrogate)");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // UTF-16 surrogate pair: the high surrogate must be immediately followed by an
+            // escaped low surrogate; together they select one supplementary-plane code
+            // point (e.g. 😀 -> U+1F600), emitted as 4-byte UTF-8.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return Error("lone high surrogate \\u escape (expected \\u low surrogate)");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            HARMONY_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid surrogate pair: second \\u escape is not a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           AppendUtf8(code, &result);
           break;
         }
@@ -320,16 +338,21 @@ class Parser {
     return Status::Ok();
   }
 
-  // Encodes a BMP code point (surrogate pairs are passed through as-is; the simulator's
-  // writers only ever escape ASCII control characters, so this path is test-input hygiene).
+  // Encodes any scalar code point up to U+10FFFF (ParseString combines surrogate pairs
+  // before calling this, so supplementary-plane characters take the 4-byte branch).
   static void AppendUtf8(unsigned code, std::string* out) {
     if (code < 0x80) {
       out->push_back(static_cast<char>(code));
     } else if (code < 0x800) {
       out->push_back(static_cast<char>(0xC0 | (code >> 6)));
       out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
+    } else if (code < 0x10000) {
       out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
       out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
       out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
     }

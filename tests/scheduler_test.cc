@@ -197,6 +197,32 @@ TEST(PackerTest, LptBalancesSkewedCosts) {
   EXPECT_DOUBLE_EQ(MaxDeviceLoad(costs, lpt, 2), 10.0);
 }
 
+// Degenerate inputs must fail fast with a diagnosable check, not silently allocate a
+// near-2^64-element vector (negative count cast to size_t) or read past the end of an
+// empty/mismatched assignment.
+TEST(PackerDeathTest, NegativePackCountAborts) {
+  EXPECT_DEATH(AssignPacksRoundRobin(-1, 2), "num_packs");
+  EXPECT_DEATH(AssignPacksZigzag(-1, 2), "num_packs");
+}
+
+TEST(PackerDeathTest, NonPositiveDeviceCountAborts) {
+  EXPECT_DEATH(AssignPacksRoundRobin(4, 0), "num_devices");
+  EXPECT_DEATH(AssignPacksZigzag(4, 0), "num_devices");
+  EXPECT_DEATH(AssignPacksLpt({1.0, 2.0}, 0), "num_devices");
+  EXPECT_DEATH(MaxDeviceLoad({1.0}, {0}, 0), "num_devices");
+}
+
+TEST(PackerDeathTest, NonPositivePackBoundaryInputsAbort) {
+  EXPECT_DEATH(MakePackBoundaries(0, 3), "num_layers");
+  EXPECT_DEATH(MakePackBoundaries(10, 0), "pack_size");
+}
+
+TEST(PackerDeathTest, MismatchedOrOutOfRangeAssignmentAborts) {
+  EXPECT_DEATH(MaxDeviceLoad({1.0, 2.0}, {0}, 2), "size");
+  EXPECT_DEATH(MaxDeviceLoad({1.0}, {-1}, 2), "negative device");
+  EXPECT_DEATH(MaxDeviceLoad({1.0}, {2}, 2), "");
+}
+
 // ---- Analytic swap-volume verification (Fig. 5 / Sec. 3) ------------------------------------
 
 class AnalyticSwapTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
@@ -287,6 +313,93 @@ TEST_P(AnalyticSwapTest, HarmonyPpWeightVolumeWithinAnalyticBand) {
 INSTANTIATE_TEST_SUITE_P(Sweep, AnalyticSwapTest,
                          ::testing::Combine(::testing::Values(1, 2, 4),
                                             ::testing::Values(1, 2, 4)));
+
+// ---- Degenerate corners of the boundary-corrected forms (layers == 1, m == 1) ---------------
+//
+// At layers == 1 the "top layer" and "bottom layer" of the correction comments are the same
+// layer, and at m == 1 the per-microbatch reuse terms collapse; both corners are where a
+// sign error in the reuse accounting would drive a closed form negative.
+
+TEST(AnalyticCornerTest, CorrectedFormsStayNonNegativeAtDegenerateCorners) {
+  const double lb = 8.0 * static_cast<double>(kMiB);
+  for (const int n_gpus : {1, 2, 4}) {
+    for (const int m : {1, 2, 4}) {
+      EXPECT_GE(AnalyticSwapModel::BaselineDpWeightVolumeCorrected(lb, 1, m, n_gpus), 0.0)
+          << "N=" << n_gpus << " m=" << m;
+    }
+    EXPECT_GE(AnalyticSwapModel::HarmonyDpWeightVolumeCorrected(lb, 1, n_gpus), 0.0)
+        << "N=" << n_gpus;
+  }
+  EXPECT_DOUBLE_EQ(AnalyticSwapModel::HarmonyPpWeightVolumeLowerBound(lb, 1), 0.0);
+  // m == 1, layers arbitrary: the baseline correction must never exceed the idealized form.
+  for (const int layers : {1, 2, 8}) {
+    for (const int n_gpus : {1, 2}) {
+      const double corrected =
+          AnalyticSwapModel::BaselineDpWeightVolumeCorrected(lb, layers, 1, n_gpus);
+      const double idealized = AnalyticSwapModel::BaselineDpWeightVolume(
+          lb * layers, /*m=*/1, n_gpus);
+      EXPECT_GE(corrected, 0.0) << "R=" << layers << " N=" << n_gpus;
+      EXPECT_LE(corrected, idealized) << "R=" << layers << " N=" << n_gpus;
+    }
+  }
+}
+
+TEST(AnalyticCornerTest, SingleLayerModelAgreesWithSimulator) {
+  // One layer on a GPU sized for the analytic regime: every working set still fits, the
+  // measured volume must be finite, non-negative, and bounded by the idealized forms (LRU
+  // reuse only removes traffic, never adds it).
+  const Model model = AnalyticModel(/*layers=*/1);
+  const double weight_bytes = static_cast<double>(model.total_param_bytes());
+  for (const int n_gpus : {1, 2}) {
+    for (const int m : {1, 2}) {
+      const SessionResult dp =
+          RunTraining(model, AnalyticConfig(Scheme::kBaselineDp, n_gpus, m));
+      const double dp_measured =
+          static_cast<double>(dp.report.iterations[1].weight_swap_volume());
+      EXPECT_GE(dp_measured, 0.0) << "N=" << n_gpus << " m=" << m;
+      EXPECT_LE(dp_measured,
+                AnalyticSwapModel::BaselineDpWeightVolume(weight_bytes, m, n_gpus) + 1.0)
+          << "N=" << n_gpus << " m=" << m;
+
+      const SessionResult hdp =
+          RunTraining(model, AnalyticConfig(Scheme::kHarmonyDp, n_gpus, m));
+      const double hdp_measured =
+          static_cast<double>(hdp.report.iterations[1].weight_swap_volume());
+      EXPECT_GE(hdp_measured, 0.0) << "N=" << n_gpus << " m=" << m;
+      EXPECT_LE(hdp_measured,
+                AnalyticSwapModel::HarmonyDpWeightVolume(weight_bytes, n_gpus) + 1.0)
+          << "N=" << n_gpus << " m=" << m;
+    }
+  }
+  // A single 24 MiB layer of persistent state fits in the 26 MiB GPU outright, so
+  // Harmony-PP needs no steady-state weight traffic at all (Sec. 4).
+  const SessionResult pp = RunTraining(model, AnalyticConfig(Scheme::kHarmonyPp, 1, 2));
+  EXPECT_EQ(pp.report.iterations[1].weight_swap_volume(), 0);
+}
+
+TEST(AnalyticCornerTest, SingleMicrobatchMatchesCorrectedClosedForms) {
+  // m == 1 collapses the per-microbatch reuse terms; the corrected forms must still match
+  // the simulator exactly in the multi-layer analytic regime.
+  const Model model = AnalyticModel();
+  const double layer_bytes = static_cast<double>(model.layer(0).cost.param_bytes);
+  for (const int n_gpus : {1, 2, 4}) {
+    const SessionResult dp =
+        RunTraining(model, AnalyticConfig(Scheme::kBaselineDp, n_gpus, /*microbatches=*/1));
+    EXPECT_NEAR(static_cast<double>(dp.report.iterations[1].weight_swap_volume()),
+                AnalyticSwapModel::BaselineDpWeightVolumeCorrected(
+                    layer_bytes, model.num_layers(), /*m=*/1, n_gpus),
+                1.0)
+        << "N=" << n_gpus;
+
+    const SessionResult hdp =
+        RunTraining(model, AnalyticConfig(Scheme::kHarmonyDp, n_gpus, /*microbatches=*/1));
+    EXPECT_NEAR(static_cast<double>(hdp.report.iterations[1].weight_swap_volume()),
+                AnalyticSwapModel::HarmonyDpWeightVolumeCorrected(layer_bytes,
+                                                                  model.num_layers(), n_gpus),
+                1.0)
+        << "N=" << n_gpus;
+  }
+}
 
 // Optimizer-state extension of the analytic model.
 TEST(AnalyticSwapTest, OptimizerStateVolumes) {

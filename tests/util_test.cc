@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/util/check.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/table.h"
@@ -170,6 +171,67 @@ TEST(CsvTest, QuotesCommasAndQuotes) {
   CsvWriter csv(os);
   csv.WriteRow({"a", "b,c", "d\"e"});
   EXPECT_EQ(os.str(), "a,\"b,c\",\"d\"\"e\"\n");
+}
+
+// ---- \u escape handling: UTF-16 surrogate pairs ----------------------------------------------
+
+TEST(JsonStringTest, SurrogatePairCombinesToSupplementaryCodePoint) {
+  // \ud83d\ude00 is the UTF-16 encoding of U+1F600 (😀); the parser must combine the pair
+  // and emit 4-byte UTF-8, not pass the surrogates through as two 3-byte sequences.
+  const StatusOr<JsonValue> parsed = ParseJson("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonStringTest, SurrogatePairAtPlaneBoundaryRoundTrips) {
+  // U+10000, the first supplementary code point: \ud800\udc00.
+  const StatusOr<JsonValue> parsed = ParseJson("\"\\ud800\\udc00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().as_string(), "\xF0\x90\x80\x80");
+  // And the last one, U+10FFFF: \udbff\udfff.
+  const StatusOr<JsonValue> last = ParseJson("\"\\udbff\\udfff\"");
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value().as_string(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonStringTest, LoneHighSurrogateIsParseErrorWithOffset) {
+  const StatusOr<JsonValue> parsed = ParseJson("\"\\ud83d\"");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("high surrogate"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(JsonStringTest, LoneLowSurrogateIsParseErrorWithOffset) {
+  const StatusOr<JsonValue> parsed = ParseJson("\"\\ude00\"");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("low surrogate"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(JsonStringTest, PairSplitAcrossEscapesIsParseError) {
+  // High surrogate followed by a non-surrogate escape: the pair never completes.
+  const StatusOr<JsonValue> wrong_second = ParseJson("\"\\ud83d\\u0041\"");
+  ASSERT_FALSE(wrong_second.ok());
+  EXPECT_NE(wrong_second.status().message().find("surrogate"), std::string::npos);
+  // High surrogate followed by a plain character instead of an escape.
+  const StatusOr<JsonValue> split = ParseJson("\"\\ud83dX\\ude00\"");
+  ASSERT_FALSE(split.ok());
+  EXPECT_NE(split.status().message().find("high surrogate"), std::string::npos);
+  // High surrogate followed by a non-\u escape.
+  const StatusOr<JsonValue> wrong_escape = ParseJson("\"\\ud83d\\n\\ude00\"");
+  ASSERT_FALSE(wrong_escape.ok());
+}
+
+TEST(JsonStringTest, BmpEscapesStillDecode) {
+  const StatusOr<JsonValue> parsed = ParseJson("\"\\u00e9\\u4e2d\"");  // é中
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "\xC3\xA9\xE4\xB8\xAD");
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# CLI error-handling regression test for harmony_sim.
+#
+# Malformed flag values used to be coerced (unknown strings fell back to defaults); now
+# every flag read goes through the checked accessors, so a bad value must produce a typed
+# error on stderr, a usage hint, and exit code 2 — never a silent run with a default.
+#
+# Usage: tools/check_cli_errors.sh <path-to-harmony_sim>
+set -u
+
+sim=${1:?usage: check_cli_errors.sh <path-to-harmony_sim>}
+failures=0
+
+# expect_reject <expected-substring> <flag...>: harmony_sim must exit 2 and mention both
+# the typed error and the usage hint on stderr.
+expect_reject() {
+  local expected=$1
+  shift
+  local err
+  err=$("$sim" "$@" 2>&1 >/dev/null)
+  local code=$?
+  if [[ $code -ne 2 ]]; then
+    echo "FAIL $* : exit $code, want 2" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ "$err" != *"INVALID_ARGUMENT"* ]]; then
+    echo "FAIL $* : stderr lacks typed INVALID_ARGUMENT error: $err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ "$err" != *"$expected"* ]]; then
+    echo "FAIL $* : stderr lacks '$expected': $err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ "$err" != *"--help"* ]]; then
+    echo "FAIL $* : stderr lacks the --help usage hint: $err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   $* -> exit 2 ($expected)"
+}
+
+expect_reject "expects true/false" --prefetch=maybe
+expect_reject "expects true/false" --lint=sometimes
+expect_reject "expects an integer" --gpus=four
+expect_reject "expects an integer" --microbatches=2.5
+expect_reject "expects a finite number" --watchdog=soon
+
+# Unknown flags are rejected up front with the full usage text.
+err=$("$sim" --no_such_flag=1 2>&1 >/dev/null)
+code=$?
+if [[ $code -ne 2 || "$err" != *"no_such_flag"* || "$err" != *"Usage"* && "$err" != *"usage"* ]]; then
+  echo "FAIL --no_such_flag : exit $code, stderr: $err" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   --no_such_flag -> exit 2 with usage"
+fi
+
+# Well-formed invocations still work: --help exits 0, and --lint on a clean default plan
+# exits 0 with a clean report line.
+if ! "$sim" --help >/dev/null 2>&1; then
+  echo "FAIL --help : non-zero exit" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   --help -> exit 0"
+fi
+
+lint_out=$("$sim" --lint --iterations=1 2>&1)
+if [[ $? -ne 0 || "$lint_out" != *"clean"* ]]; then
+  echo "FAIL --lint on default plan: $lint_out" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   --lint -> exit 0, clean report"
+fi
+
+if [[ $failures -ne 0 ]]; then
+  echo "FAIL $failures CLI error-handling check(s)" >&2
+  exit 1
+fi
+echo "OK   harmony_sim CLI error handling"

@@ -7,6 +7,7 @@
 // Prints the run report (throughput, per-iteration swap volume by tensor class, per-device
 // accounting) and optionally writes a chrome://tracing timeline.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "src/core/recovery.h"
@@ -14,6 +15,7 @@
 #include "src/core/session.h"
 #include "src/core/tuner.h"
 #include "src/graph/model_zoo.h"
+#include "src/runtime/plan_lint.h"
 #include "src/runtime/report_io.h"
 #include "src/runtime/trace_export.h"
 #include "src/util/flags.h"
@@ -22,11 +24,13 @@
 namespace harmony {
 namespace {
 
-// Prints the error and reports failure when a checked flag didn't parse.
+// Prints the error and reports failure when a checked flag didn't parse. Every flag value
+// goes through this path — malformed values are typed errors with a usage hint and a
+// non-zero exit, never silent fallbacks to a default.
 template <typename T>
 bool AssignFlag(const StatusOr<T>& parsed, T* out) {
   if (!parsed.ok()) {
-    std::cerr << parsed.status().ToString() << "\n";
+    std::cerr << parsed.status().ToString() << "\n(run with --help for flag usage)\n";
     return false;
   }
   *out = parsed.value();
@@ -77,6 +81,10 @@ int Run(int argc, char** argv) {
       .Define("tuner_threads", "0",
               "worker threads for the tuner sweep (0 = one per hardware thread)")
       .Define("timeline", "false", "print the ASCII schedule timeline")
+      .Define("lint", "false",
+              "build the plan and run the full static linter (deep checks included) instead "
+              "of executing it; --json writes the harmony-lint-report v1 instead of the run "
+              "report; exits 1 if the plan has lint errors")
       .Define("explain", "false",
               "print the bottleneck attribution (dominant stall per device, top contended "
               "link, top-churn tensors)")
@@ -100,7 +108,11 @@ int Run(int argc, char** argv) {
     std::cerr << parsed.ToString() << "\n\n" << flags.Usage(argv[0]);
     return 2;
   }
-  if (flags.GetBool("help")) {
+  bool help = false;
+  if (!AssignFlag(flags.GetCheckedBool("help"), &help)) {
+    return 2;
+  }
+  if (help) {
     std::cout << flags.Usage(argv[0]);
     return 0;
   }
@@ -133,13 +145,20 @@ int Run(int argc, char** argv) {
   config.server.gpu.memory_bytes =
       static_cast<Bytes>(gpu_memory_gib * static_cast<double>(kGiB));
   config.scheme = scheme.value();
-  config.recompute = flags.GetBool("recompute");
-  config.prefetch = flags.GetBool("prefetch");
-  config.grouping = flags.GetBool("grouping");
-  config.jit_updates = flags.GetBool("jit");
-  config.p2p = flags.GetBool("p2p");
-  config.lookahead_eviction = flags.GetBool("lookahead_eviction");
-  config.record_timeline = flags.GetBool("timeline") || !flags.Get("trace").empty();
+  bool tune = false, timeline = false, explain = false, lint = false;
+  if (!AssignFlag(flags.GetCheckedBool("recompute"), &config.recompute) ||
+      !AssignFlag(flags.GetCheckedBool("prefetch"), &config.prefetch) ||
+      !AssignFlag(flags.GetCheckedBool("grouping"), &config.grouping) ||
+      !AssignFlag(flags.GetCheckedBool("jit"), &config.jit_updates) ||
+      !AssignFlag(flags.GetCheckedBool("p2p"), &config.p2p) ||
+      !AssignFlag(flags.GetCheckedBool("lookahead_eviction"), &config.lookahead_eviction) ||
+      !AssignFlag(flags.GetCheckedBool("tune"), &tune) ||
+      !AssignFlag(flags.GetCheckedBool("timeline"), &timeline) ||
+      !AssignFlag(flags.GetCheckedBool("explain"), &explain) ||
+      !AssignFlag(flags.GetCheckedBool("lint"), &lint)) {
+    return 2;
+  }
+  config.record_timeline = timeline || !flags.Get("trace").empty();
   if (!flags.Get("faults").empty()) {
     const StatusOr<FaultPlan> faults = ParseFaultSpec(flags.Get("faults"));
     if (!faults.ok()) {
@@ -149,7 +168,7 @@ int Run(int argc, char** argv) {
     config.faults = faults.value();
   }
 
-  if (flags.GetBool("tune")) {
+  if (tune) {
     // Tuner mode: sweep the memory-performance tango knobs around the requested config and
     // report the profiled frontier instead of running one fixed schedule.
     TunerOptions options;
@@ -176,6 +195,31 @@ int Run(int argc, char** argv) {
   if (!valid.ok()) {
     std::cerr << valid.ToString() << "\n";
     return 1;
+  }
+
+  if (lint) {
+    // Lint mode: build the plan, run the full static analysis (deep checks included), and
+    // report instead of executing. --json switches the output file to the lint report.
+    Machine machine = MakeCommodityServer(config.server);
+    TensorRegistry registry;
+    const Plan plan = BuildPlanForConfig(model.value(), machine, &registry, config);
+    LintOptions options;
+    options.deep = true;
+    for (const GpuSpec& gpu : machine.gpus) {
+      options.device_capacities.push_back(gpu.memory_bytes);
+    }
+    const LintReport report = LintPlan(plan, registry, options);
+    std::cout << report.Render();
+    if (!flags.Get("json").empty()) {
+      std::ofstream file(flags.Get("json"), std::ios::trunc);
+      if (!file) {
+        std::cerr << "cannot open lint report file " << flags.Get("json") << "\n";
+        return 1;
+      }
+      file << report.ToJson() << "\n";
+      std::cout << "wrote lint report to " << flags.Get("json") << "\n";
+    }
+    return report.num_errors() > 0 ? 1 : 0;
   }
 
   if (!config.faults.empty()) {
@@ -258,10 +302,10 @@ int Run(int argc, char** argv) {
   }
   links.Print(std::cout);
 
-  if (flags.GetBool("explain")) {
+  if (explain) {
     std::cout << "\n" << Attribute(result.report).Render();
   }
-  if (flags.GetBool("timeline")) {
+  if (timeline) {
     std::cout << "\n" << RenderTimeline(result.plan, result.timeline);
   }
   if (!flags.Get("csv").empty()) {

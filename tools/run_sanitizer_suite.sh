@@ -7,7 +7,10 @@
 #                         recounts, golden --explain output),
 #   - `ctest -R tuner`  : the tuner, whose ParallelFor profiling now calls Attribute()
 #                         concurrently from worker threads (the one genuinely
-#                         multi-threaded consumer of the span/report machinery).
+#                         multi-threaded consumer of the span/report machinery),
+#   - `ctest -L lint`   : the static plan linter (DESIGN.md §9), whose bitset
+#                         reachability and access-map passes index heavily into
+#                         per-task state — exactly where UBSan catches drift.
 # Pass --full to run the entire ctest suite under each sanitizer instead (slower).
 #
 # Usage: tools/run_sanitizer_suite.sh [--full]
@@ -32,6 +35,7 @@ run_one() {
   else
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L trace)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -R tuner)
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L lint)
   fi
   echo "==== $sanitizer: clean ===="
 }
