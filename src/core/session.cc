@@ -153,6 +153,10 @@ Status ValidateSessionConfig(const Model& model, const SessionConfig& config) {
   if (config.watchdog_timeout < 0.0) {
     return InvalidArgumentError("watchdog_timeout must be >= 0 (0 = off)");
   }
+  if (config.sim_threads < 0) {
+    return InvalidArgumentError("sim_threads must be >= 0 (0 = HARMONY_SIM_THREADS or 1), got " +
+                                std::to_string(config.sim_threads));
+  }
   for (const FaultEvent& event : config.faults.events()) {
     const bool targets_gpu =
         event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade;
@@ -182,9 +186,28 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   TransferManager transfers(&sim, &machine.topology);
   TensorRegistry registry;
   Plan plan = BuildPlanForConfig(model, machine, &registry, config);
-  // Rough hint: each task turns into a handful of simulator events (fetch, compute, swap,
-  // wakeups); pre-sizing the event heap avoids reallocation churn in the steady state.
-  sim.Reserve(plan.tasks.size() * 8 + 1024);
+  // Pre-size the event arena from the plan's actual shape: each task contributes a handful
+  // of control events plus one transfer (join + completion wakeup) per working-set entry it
+  // fetches or writes back. This over-counts the *peak outstanding* events — most complete
+  // long before the run ends — so cap the hint; the arena still grows on demand if a
+  // schedule ever exceeds it.
+  std::size_t transfer_entries = 0;
+  for (const Task& task : plan.tasks) {
+    transfer_entries += task.working_set.fetch.size() + task.working_set.accumulate.size() +
+                        task.working_set.allocate.size() + task.free_after.size();
+  }
+  sim.Reserve(std::min<std::size_t>(plan.tasks.size() * 8 + transfer_entries * 2 + 1024,
+                                    std::size_t{1} << 18));
+
+  // Sharded-core knobs (DESIGN.md §10): thread count from the config (or the
+  // HARMONY_SIM_THREADS env), lookahead from the slowest-possible cross-component
+  // interaction — the minimum link latency of the finalized topology. Both are
+  // output-neutral: events always execute in global (when, seq) order.
+  const int sim_threads = ResolveSimThreads(config.sim_threads);
+  sim.SetParallelism(sim_threads);
+  if (sim_threads > 1) {
+    sim.SetLookahead(machine.topology.MinLinkLatency());
+  }
 
   MemoryPolicy policy =
       config.policy.has_value() ? *config.policy : DefaultPolicyFor(config.scheme, config.p2p);

@@ -41,6 +41,13 @@ TransferManager::TransferManager(Simulator* sim, const Topology* topology)
   HCHECK(sim != nullptr);
   HCHECK(topology != nullptr);
   HCHECK(topology->finalized());
+  dma_lane_ = sim->CreateLane("dma");
+  link_lane_.reserve(static_cast<std::size_t>(topology->num_links()));
+  for (LinkId lid = 0; lid < topology->num_links(); ++lid) {
+    const TopologyLink& link = topology->link(lid);
+    link_lane_.push_back(sim->CreateLane(topology->node(link.src).name + ">" +
+                                         topology->node(link.dst).name));
+  }
   link_active_.assign(static_cast<std::size_t>(topology->num_links()), 0);
   link_scale_.assign(static_cast<std::size_t>(topology->num_links()), 1.0);
   node_dead_.assign(static_cast<std::size_t>(topology->num_nodes()), false);
@@ -61,18 +68,21 @@ OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes
     // caller decides what a dead endpoint means for it.
     aborted_events_.insert(done);
     ++flows_aborted_;
-    sim_->ScheduleAfter(0.0, [done] { done->Fire(); });
+    sim_->ScheduleAfter(dma_lane_, 0.0, [done] { done->Fire(); });
     return done;
   }
 
   if (src == dst || bytes == 0) {
     double latency = 0.0;
+    SimLane lane = dma_lane_;
     if (src != dst) {
-      for (LinkId lid : topology_->Route(src, dst)) {
+      const std::vector<LinkId>& route = topology_->Route(src, dst);
+      for (LinkId lid : route) {
         latency += topology_->link(lid).spec.latency_sec;
       }
+      lane = link_lane_[static_cast<std::size_t>(route.front())];
     }
-    sim_->ScheduleAfter(latency, [done] { done->Fire(); });
+    sim_->ScheduleAfter(lane, latency, [done] { done->Fire(); });
     return done;
   }
 
@@ -88,30 +98,42 @@ OneShotEvent* TransferManager::StartTransfer(NodeId src, NodeId dst, Bytes bytes
   node_io_[static_cast<std::size_t>(src)].out_by_kind[static_cast<std::size_t>(kind)] += bytes;
   node_io_[static_cast<std::size_t>(dst)].in_by_kind[static_cast<std::size_t>(kind)] += bytes;
 
+  Flow flow;
+  flow.id = id;
+  flow.route = &route;  // points into the topology's stable route table
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytes_remaining = static_cast<double>(bytes);
+  flow.bytes_total = bytes;
+  flow.kind = kind;
+  flow.done = done;
+  pending_.emplace(id, std::move(flow));
+
   // The flow joins the network after its route latency; that keeps latency out of the
-  // bandwidth-sharing math while still delaying short transfers realistically.
-  sim_->ScheduleAfter(latency, [this, id, src, dst, route, bytes, kind, done]() mutable {
-    if (NodeFailed(src) || NodeFailed(dst)) {
-      // An endpoint died while the transfer was still in its latency window.
-      aborted_events_.insert(done);
-      ++flows_aborted_;
-      done->Fire();
-      return;
-    }
-    AdvanceToNow();
-    Flow flow;
-    flow.id = id;
-    flow.route = std::move(route);
-    flow.bytes_remaining = static_cast<double>(bytes);
-    flow.bytes_total = bytes;
-    flow.kind = kind;
-    flow.done = done;
-    Flow& attached = AttachFlow(std::move(flow));
-    dirty_scratch_.assign(attached.route.begin(), attached.route.end());
-    ReRateFlowsOnLinks(&dirty_scratch_);
-    ScheduleNextCompletion();
-  });
+  // bandwidth-sharing math while still delaying short transfers realistically. The flow
+  // body lives in pending_ so the event closure carries two words, not the whole route.
+  sim_->ScheduleAfter(link_lane_[static_cast<std::size_t>(route.front())], latency,
+                      [this, id] { JoinFlow(id); });
   return done;
+}
+
+void TransferManager::JoinFlow(std::int64_t id) {
+  const auto it = pending_.find(id);
+  HCHECK(it != pending_.end());
+  Flow flow = std::move(it->second);
+  pending_.erase(it);
+  if (NodeFailed(flow.src) || NodeFailed(flow.dst)) {
+    // An endpoint died while the transfer was still in its latency window.
+    aborted_events_.insert(flow.done);
+    ++flows_aborted_;
+    flow.done->Fire();
+    return;
+  }
+  AdvanceToNow();
+  Flow& attached = AttachFlow(std::move(flow));
+  dirty_scratch_.assign(attached.route->begin(), attached.route->end());
+  ReRateFlowsOnLinks(&dirty_scratch_);
+  ScheduleNextCompletion();
 }
 
 Bytes TransferManager::total_bytes() const {
@@ -156,7 +178,7 @@ TransferManager::Flow& TransferManager::AttachFlow(Flow flow) {
   const auto [it, inserted] = flows_.emplace(id, std::move(flow));
   HCHECK(inserted);
   Flow& attached = it->second;  // stable address: unordered_map never moves elements
-  for (LinkId lid : attached.route) {
+  for (LinkId lid : *attached.route) {
     const auto slot = static_cast<std::size_t>(lid);
     ++link_active_[slot];
     link_stats_[slot].max_queue_depth =
@@ -170,7 +192,7 @@ TransferManager::Flow& TransferManager::AttachFlow(Flow flow) {
 }
 
 void TransferManager::DetachFlow(Flow& flow, std::vector<LinkId>* dirty_links) {
-  for (LinkId lid : flow.route) {
+  for (LinkId lid : *flow.route) {
     const auto slot = static_cast<std::size_t>(lid);
     --link_active_[slot];
     HCHECK_GE(link_active_[slot], 0);
@@ -189,7 +211,7 @@ void TransferManager::DetachFlow(Flow& flow, std::vector<LinkId>* dirty_links) {
 
 double TransferManager::ComputeRate(const Flow& flow) const {
   double rate = std::numeric_limits<double>::infinity();
-  for (LinkId lid : flow.route) {
+  for (LinkId lid : *flow.route) {
     const auto slot = static_cast<std::size_t>(lid);
     const double share = topology_->link(lid).spec.bandwidth_bytes_per_sec *
                          link_scale_[slot] / static_cast<double>(link_active_[slot]);
@@ -405,7 +427,7 @@ void TransferManager::ScheduleNextCompletion() {
   // A projection rated at an earlier change point can sit an ulp before now; clamp.
   const SimTime when = std::max(completion_heap_.front().when, sim_->now());
   const std::uint64_t generation = wakeup_generation_;
-  sim_->ScheduleAt(when, [this, generation] { OnWakeup(generation); });
+  sim_->ScheduleAt(dma_lane_, when, [this, generation] { OnWakeup(generation); });
 }
 
 void TransferManager::OnWakeup(std::uint64_t generation) {
@@ -427,7 +449,7 @@ void TransferManager::OnWakeup(std::uint64_t generation) {
       }
       continue;
     }
-    for (LinkId lid : flow.route) {
+    for (LinkId lid : *flow.route) {
       LinkStats& stats = link_stats_[static_cast<std::size_t>(lid)];
       stats.bytes_carried += flow.bytes_total;
       stats.bytes_by_kind[static_cast<std::size_t>(flow.kind)] += flow.bytes_total;
@@ -450,7 +472,7 @@ std::string TransferManager::DebugCheckConsistency() const {
   std::vector<int> want_active(link_active_.size(), 0);
   std::vector<std::vector<std::int64_t>> want_flows(link_flows_.size());
   for (const auto& [id, flow] : flows_) {
-    for (LinkId lid : flow.route) {
+    for (LinkId lid : *flow.route) {
       ++want_active[static_cast<std::size_t>(lid)];
       want_flows[static_cast<std::size_t>(lid)].push_back(id);
     }

@@ -147,7 +147,11 @@ class TransferManager {
 
   struct Flow {
     std::int64_t id = 0;
-    std::vector<LinkId> route;
+    // Points into the finalized Topology's route table (stable for the topology's
+    // lifetime) — flows are hot-path objects, so the route is never copied.
+    const std::vector<LinkId>* route = nullptr;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
     double bytes_remaining = 0.0;
     Bytes bytes_total = 0;
     double rate = 0.0;  // bytes/sec under the current allocation
@@ -206,13 +210,25 @@ class TransferManager {
   void ScheduleNextCompletion();
   void OnWakeup(std::uint64_t generation);
 
+  // Moves a pending flow (one that finished its route-latency window) into the active set
+  // and re-rates the links it joins; aborts it instead if an endpoint died meanwhile.
+  void JoinFlow(std::int64_t id);
+
   Simulator* sim_;
   const Topology* topology_;
+
+  // Event lanes (DESIGN.md §10): completion wakeups and latency-only transfers ride the
+  // DMA-engine lane; each flow's latency window rides its first link's lane.
+  SimLane dma_lane_;
+  std::vector<SimLane> link_lane_;  // one per topology link
 
   std::int64_t next_flow_id_ = 0;
   // Unordered is safe: no code depends on iteration order (completion order comes from the
   // heap comparator, rates are pure functions of counts), and lookups are on the hot path.
   std::unordered_map<std::int64_t, Flow> flows_;
+  // Flows still inside their route-latency window (scheduled but not yet sharing
+  // bandwidth); JoinFlow moves them into flows_.
+  std::unordered_map<std::int64_t, Flow> pending_;
   std::vector<std::unique_ptr<OneShotEvent>> events_;  // owns completion events
 
   std::vector<int> link_active_;  // active flow count per link (maintained incrementally)

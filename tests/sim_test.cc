@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/fault_plan.h"
 #include "src/sim/simulator.h"
+#include "src/util/rng.h"
 
 namespace harmony {
 namespace {
@@ -159,6 +164,196 @@ TEST(SimulatorPropertyTest, DeterministicAcrossRuns) {
     return times;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(CountdownEventDeathTest, ExpectAfterFireAborts) {
+  Simulator sim;
+  CountdownEvent countdown(&sim, 1);
+  countdown.Arrive();
+  ASSERT_TRUE(countdown.fired());
+  EXPECT_DEATH(countdown.Expect(1), "after fire");
+}
+
+// ---- lanes (DESIGN.md §10) ---------------------------------------------------------------------
+
+TEST(SimulatorLaneTest, CreateLaneReturnsSequentialHandles) {
+  Simulator sim;
+  EXPECT_EQ(sim.num_lanes(), 1);  // "main" always exists
+  EXPECT_EQ(sim.lane_name(Simulator::kDefaultLane), "main");
+  const SimLane a = sim.CreateLane("gpu0.compute");
+  const SimLane b = sim.CreateLane("dma");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(sim.num_lanes(), 3);
+  EXPECT_EQ(sim.lane_name(a), "gpu0.compute");
+  EXPECT_EQ(sim.lane_name(b), "dma");
+}
+
+TEST(SimulatorLaneTest, CrossLaneEventsRunInTimeOrder) {
+  Simulator sim;
+  const SimLane a = sim.CreateLane("a");
+  const SimLane b = sim.CreateLane("b");
+  std::vector<int> order;
+  sim.ScheduleAt(a, 3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(b, 1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(a, 2.0, [&] { order.push_back(2); });
+  sim.ScheduleAt(b, 4.0, [&] { order.push_back(4); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulatorLaneTest, CrossLaneTiesBreakByGlobalInsertionOrder) {
+  Simulator sim;
+  const SimLane a = sim.CreateLane("a");
+  const SimLane b = sim.CreateLane("b");
+  std::vector<int> order;
+  for (int i = 0; i < 12; ++i) {
+    const SimLane lane = (i % 2 == 0) ? a : b;
+    sim.ScheduleAt(lane, 1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+// The recorded (time, tag) sequence from a multi-lane workload, used to compare serial
+// and windowed-parallel execution event-for-event.
+std::vector<std::pair<double, int>> RunLaneWorkload(int threads, double lookahead) {
+  Simulator sim;
+  std::vector<SimLane> lanes;
+  for (int l = 0; l < 8; ++l) {
+    lanes.push_back(sim.CreateLane("lane" + std::to_string(l)));
+  }
+  if (threads > 1) {
+    sim.SetParallelism(threads);
+  }
+  sim.SetLookahead(lookahead);
+  std::vector<std::pair<double, int>> trace;
+  for (int i = 0; i < 400; ++i) {
+    const SimLane lane = lanes[static_cast<std::size_t>((i * 5) % 8)];
+    const double when = static_cast<double>((i * 7) % 23);
+    sim.ScheduleAt(lane, when, [&trace, &sim, i] { trace.emplace_back(sim.now(), i); });
+  }
+  sim.RunUntilIdle();
+  return trace;
+}
+
+TEST(SimulatorWindowTest, ParallelExecutionMatchesSerialExactly) {
+  const auto serial = RunLaneWorkload(1, 0.0);
+  EXPECT_EQ(RunLaneWorkload(2, 2.0), serial);
+  EXPECT_EQ(RunLaneWorkload(8, 2.0), serial);
+  EXPECT_EQ(RunLaneWorkload(4, 100.0), serial);  // one giant window
+}
+
+TEST(SimulatorWindowTest, ZeroLookaheadFallsBackToSerial) {
+  // Parallelism without lookahead must take the serial path (and stay correct).
+  const auto serial = RunLaneWorkload(1, 0.0);
+  EXPECT_EQ(RunLaneWorkload(4, 0.0), serial);
+}
+
+TEST(SimulatorWindowTest, ScheduleInsideOpenWindowKeepsGlobalOrder) {
+  // A callback executing inside a window schedules new events due *within* that same
+  // window, on another lane — they must interleave exactly where (when, seq) puts them.
+  auto run = [](int threads) {
+    Simulator sim;
+    const SimLane a = sim.CreateLane("a");
+    const SimLane b = sim.CreateLane("b");
+    if (threads > 1) {
+      sim.SetParallelism(threads);
+      sim.SetLookahead(50.0);
+    }
+    std::vector<std::pair<double, int>> trace;
+    for (int i = 0; i < 20; ++i) {
+      sim.ScheduleAt(a, static_cast<double>(i), [&, i] {
+        trace.emplace_back(sim.now(), i);
+        sim.ScheduleAt(b, sim.now() + 0.5, [&trace, &sim, i] {
+          trace.emplace_back(sim.now(), 1000 + i);
+        });
+      });
+    }
+    sim.RunUntilIdle();
+    return trace;
+  };
+  EXPECT_EQ(run(4), run(1));
+}
+
+TEST(SimulatorWindowTest, RandomizedSerialVersusParallel) {
+  Rng rng(1234);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<int> serial;
+    std::vector<int> parallel;
+    const int events = 100 + static_cast<int>(rng.NextBounded(200));
+    const std::uint64_t seed = rng.NextU64();
+    auto run = [events, seed](int threads, std::vector<int>* out) {
+      Simulator sim;
+      std::vector<SimLane> lanes;
+      for (int l = 0; l < 5; ++l) {
+        lanes.push_back(sim.CreateLane("l" + std::to_string(l)));
+      }
+      if (threads > 1) {
+        sim.SetParallelism(threads);
+        sim.SetLookahead(3.0);
+      }
+      Rng local(seed);
+      for (int i = 0; i < events; ++i) {
+        const SimLane lane = lanes[static_cast<std::size_t>(local.NextBounded(5))];
+        const double when = static_cast<double>(local.NextBounded(41)) * 0.25;
+        sim.ScheduleAt(lane, when, [out, i] { out->push_back(i); });
+      }
+      sim.RunUntilIdle();
+    };
+    run(1, &serial);
+    run(3, &parallel);
+    EXPECT_EQ(parallel, serial) << "round " << round;
+  }
+}
+
+// ---- event arena -------------------------------------------------------------------------------
+
+TEST(SimulatorArenaTest, SlotsAreReusedAcrossRuns) {
+  Simulator sim;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAfter(static_cast<double>(i % 7), [] {});
+    }
+    sim.RunUntilIdle();
+    EXPECT_EQ(sim.arena_in_use(), 0u);
+  }
+  // 1000 outstanding events fit in one 4096-slot slab; churn must not grow the arena.
+  EXPECT_EQ(sim.arena_capacity(), 4096u);
+}
+
+TEST(SimulatorArenaTest, ReservePresizesAndGrowsOnDemand) {
+  Simulator sim;
+  sim.Reserve(10000);
+  EXPECT_GE(sim.arena_capacity(), 10000u);
+  const std::size_t reserved = sim.arena_capacity();
+  int fired = 0;
+  for (int i = 0; i < 20000; ++i) {  // more outstanding events than reserved
+    sim.ScheduleAfter(1.0, [&fired] { ++fired; });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 20000);
+  EXPECT_GT(sim.arena_capacity(), reserved);
+}
+
+TEST(SimulatorArenaTest, OversizedClosuresFallBackToHeap) {
+  // Captures beyond the inline buffer take the heap path inside InlineFunction; the event
+  // must still run (and destroy its captures) correctly.
+  Simulator sim;
+  std::array<double, 16> big{};
+  big[0] = 1.0;
+  big[15] = 2.0;
+  auto counter = std::make_shared<int>(0);
+  double sum = 0.0;
+  sim.ScheduleAfter(1.0, [big, counter, &sum] {
+    sum = big[0] + big[15] + static_cast<double>(*counter);
+  });
+  EXPECT_EQ(counter.use_count(), 2);
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+  EXPECT_EQ(counter.use_count(), 1);  // captures destroyed when the slot was freed
 }
 
 // ---- FaultPlan ---------------------------------------------------------------------------------

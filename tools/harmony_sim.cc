@@ -102,6 +102,9 @@ int Run(int argc, char** argv) {
       .Define("watchdog", "0",
               "flag the run as stalled after this many sim seconds without a task "
               "completion (0 = off)")
+      .Define("sim_threads", "0",
+              "worker threads for the sharded simulator core (0 = HARMONY_SIM_THREADS env "
+              "or 1); output is byte-identical at any value")
       .Define("help", "false", "show this help");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -139,7 +142,8 @@ int Run(int argc, char** argv) {
       !AssignFlag(flags.GetCheckedInt("pack_size"), &config.pack_size) ||
       !AssignFlag(flags.GetCheckedInt("group_size"), &config.group_size) ||
       !AssignFlag(flags.GetCheckedInt("checkpoint_every"), &config.checkpoint_every) ||
-      !AssignFlag(flags.GetCheckedDouble("watchdog"), &config.watchdog_timeout)) {
+      !AssignFlag(flags.GetCheckedDouble("watchdog"), &config.watchdog_timeout) ||
+      !AssignFlag(flags.GetCheckedInt("sim_threads"), &config.sim_threads)) {
     return 2;
   }
   config.server.gpu.memory_bytes =

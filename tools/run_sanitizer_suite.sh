@@ -36,6 +36,7 @@ run_one() {
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L trace)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -R tuner)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L lint)
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L simcore)
   fi
   echo "==== $sanitizer: clean ===="
 }
