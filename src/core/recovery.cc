@@ -13,8 +13,22 @@ bool IsDataParallel(Scheme scheme) {
 }
 
 bool TargetsGpu(const FaultEvent& event) {
-  return event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade;
+  return event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade ||
+         event.kind == FaultKind::kGpuSlow ||
+         ((event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
+          event.gpu >= 0);
 }
+
+// Fire-and-forget kinds with no time window: either they happen inside the segment or
+// they already happened.
+bool Instantaneous(const FaultEvent& event) {
+  return event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kFlowFlap ||
+         event.kind == FaultKind::kCkptCorrupt;
+}
+
+// Upper bound on recovery segments: a fault plan is finite, so a run that keeps failing
+// past this is looping (e.g. rolling back into the same permanent fault forever).
+constexpr std::size_t kMaxSegments = 64;
 
 }  // namespace
 
@@ -39,7 +53,7 @@ FaultPlan ShiftFaultPlan(const FaultPlan& plan, double offset, const std::vector
       continue;  // the target died in an earlier segment; its links no longer exist
     }
     const double local_time = event.time - offset;
-    if (event.kind == FaultKind::kGpuFailStop) {
+    if (Instantaneous(event)) {
       if (local_time < 0.0) {
         continue;  // already struck
       }
@@ -81,10 +95,29 @@ ElasticResult RunTrainingElastic(const Model& model, const SessionConfig& config
   double offset = 0.0;     // global sim time consumed by earlier segments
   int next_iteration = 0;  // first global iteration the next segment must run
 
+  // The checkpoint ring buffer outlives segments: a corrupted newest generation falls
+  // back to an older one, possibly committed before the current segment began.
+  CheckpointStore store(config.ckpt_keep);
+  // Dropped to 0 when a straggler cannot be excluded (the run completes degraded on the
+  // full device set instead of re-classifying the same straggler every segment).
+  double straggler_threshold = config.straggler_threshold;
+  const auto finalize = [&result, &store] {
+    result.stats.ckpt_verified = store.verified_ok();
+    result.stats.ckpt_corrupt_detected = store.corrupt_detected();
+  };
+
   for (;;) {
     if (alive.empty()) {
       result.status = FailedPreconditionError(
           "every GPU has fail-stopped; no surviving device to rebind onto");
+      finalize();
+      return result;
+    }
+    if (result.segments.size() >= kMaxSegments) {
+      result.status = ResourceExhaustedError(
+          "recovery did not converge after " + std::to_string(kMaxSegments) +
+          " segments — the fault plan keeps striking faster than progress commits");
+      finalize();
       return result;
     }
 
@@ -95,6 +128,10 @@ ElasticResult RunTrainingElastic(const Model& model, const SessionConfig& config
     segment.config = config;
     segment.config.server.num_gpus = static_cast<int>(alive.size());
     segment.config.iterations = segment.iterations;
+    segment.config.straggler_threshold = straggler_threshold;
+    // Segment-local commits land in the shared ring as global (iteration, time) pairs.
+    store.SetBases(next_iteration, offset);
+    segment.config.checkpoint_store = &store;
     if (data_parallel) {
       if (total_microbatches % static_cast<int>(alive.size()) != 0) {
         result.status = FailedPreconditionError(
@@ -115,23 +152,25 @@ ElasticResult RunTrainingElastic(const Model& model, const SessionConfig& config
         result.status = FailedPreconditionError(
             "surviving configuration on " + std::to_string(alive.size()) +
             " GPUs is infeasible: " + feasible.message());
+        finalize();
         return result;
       }
     }
 
     segment.result = RunTraining(model, segment.config);
+    // The store is owned by this coordinator; don't leak a dangling pointer into the
+    // replayable per-segment config.
+    segment.config.checkpoint_store = nullptr;
     const RunReport& report = segment.result.report;
     result.total_makespan += report.makespan;
     result.checkpoints_committed += report.checkpoints_committed;
     result.checkpoint_bytes += report.checkpoint_bytes;
     const int segment_completed = static_cast<int>(report.iterations.size());
     const bool all_done = segment_completed == segment.iterations;
-    const int last_checkpoint = report.last_checkpoint_iteration;
     const bool failed = report.failed;
     const std::string failure_kind = report.failure_kind;
     const int failed_local = report.failed_device;
     const double failure_time = report.failure_time;
-    const double checkpoint_time = last_checkpoint >= 0 ? report.last_checkpoint_time : 0.0;
     const double makespan = report.makespan;
     result.segments.push_back(std::move(segment));
 
@@ -140,24 +179,69 @@ ElasticResult RunTrainingElastic(const Model& model, const SessionConfig& config
       result.status = Status::Ok();
       break;
     }
-    if (failure_kind != "gpu-fail-stop") {
-      result.completed_iterations = next_iteration + segment_completed;
-      result.status = FailedPreconditionError(
-          "schedule stalled (watchdog) at sim time " + std::to_string(failure_time) +
-          " — rebinding cannot fix a livelocked configuration");
-      return result;
+
+    if (failure_kind == "gpu-straggler") {
+      // Middle rung of the ladder: the segment closed on a complete iteration boundary,
+      // so progress is kept as-is — no rollback, no lost work. Rebind away from the slow
+      // device when the workload allows it; otherwise finish degraded on the full set.
+      ++result.stats.degradations;
+      result.stats.recovery_latency_sec += makespan - failure_time;
+      next_iteration += segment_completed;
+      offset += makespan;
+      const bool can_exclude =
+          failed_local >= 0 && alive.size() > 1 &&
+          (!data_parallel ||
+           total_microbatches % static_cast<int>(alive.size() - 1) == 0);
+      if (can_exclude) {
+        const int dead_original = alive.at(static_cast<std::size_t>(failed_local));
+        dead[static_cast<std::size_t>(dead_original)] = true;
+        alive.erase(alive.begin() + failed_local);
+      } else {
+        straggler_threshold = 0.0;
+      }
+      continue;
     }
 
-    // Roll back to the last committed checkpoint and rebind onto the survivors.
-    ++result.stats.failures;
-    result.stats.lost_work_sec += failure_time - checkpoint_time;
-    result.stats.recovery_latency_sec += makespan - failure_time;
-    const int dead_original = alive.at(static_cast<std::size_t>(failed_local));
-    dead[static_cast<std::size_t>(dead_original)] = true;
-    alive.erase(alive.begin() + failed_local);
-    next_iteration += last_checkpoint + 1;  // -1 (no checkpoint) restarts the segment
-    offset += makespan;
+    if (failure_kind == "gpu-fail-stop" || failure_kind == "transfer-retry-exhausted") {
+      // Bottom rung: roll back to the newest checkpoint generation that passes digest
+      // verification (possibly older than this segment), then rebind. Retry exhaustion
+      // keeps the full device set — the fabric failed, not a GPU.
+      const CheckpointGeneration* generation = store.NewestValid();
+      if (store.committed() > 0 && generation == nullptr) {
+        result.completed_iterations = next_iteration + segment_completed;
+        result.status = FailedPreconditionError(
+            "all " + std::to_string(store.committed()) +
+            " committed checkpoint generation(s) failed digest verification — nothing "
+            "valid to roll back to");
+        finalize();
+        return result;
+      }
+      const double rollback_time = generation != nullptr ? generation->time : offset;
+      result.stats.lost_work_sec += (offset + failure_time) - rollback_time;
+      result.stats.recovery_latency_sec += makespan - failure_time;
+      if (failure_kind == "gpu-fail-stop") {
+        ++result.stats.failures;
+        const int dead_original = alive.at(static_cast<std::size_t>(failed_local));
+        dead[static_cast<std::size_t>(dead_original)] = true;
+        alive.erase(alive.begin() + failed_local);
+      } else {
+        ++result.stats.retry_exhaustions;
+      }
+      if (generation != nullptr) {
+        next_iteration = generation->iteration + 1;
+      }  // no valid generation ever committed: restart the segment from its start
+      offset += makespan;
+      continue;
+    }
+
+    result.completed_iterations = next_iteration + segment_completed;
+    result.status = FailedPreconditionError(
+        "schedule stalled (watchdog) at sim time " + std::to_string(failure_time) +
+        " — rebinding cannot fix a livelocked configuration");
+    finalize();
+    return result;
   }
+  finalize();
 
   // Checkpoint fan-out cost: weights + optimizer state the survivors had to re-stage in
   // each recovery segment's first iteration.

@@ -32,7 +32,19 @@ struct RecoverySegment {
 
 // Whole-run recovery accounting (sim-time seconds / bytes).
 struct RecoveryStats {
-  int failures = 0;
+  int failures = 0;  // fail-stop rollbacks (the bottom rung of the resilience ladder)
+  // ---- degraded-mode ladder (DESIGN.md §11) ----
+  // Straggler degradations: segments ended gracefully at an iteration boundary and resumed
+  // without touching the checkpoint (no lost work).
+  int degradations = 0;
+  // Transfer-retry budgets exhausted: rollbacks to the newest valid checkpoint without
+  // excluding any device.
+  int retry_exhaustions = 0;
+  // Checkpoint-integrity outcomes across the whole run (from the shared CheckpointStore).
+  int ckpt_verified = 0;
+  int ckpt_corrupt_detected = 0;
+  // Total rollbacks of any kind (what the chaos bench charts against fault rate).
+  int rollbacks() const { return failures + retry_exhaustions; }
   // Sim time of committed-but-lost progress: failure time minus the last checkpoint commit
   // (the rolled-back in-flight microbatches), summed over failures.
   double lost_work_sec = 0.0;

@@ -1,5 +1,7 @@
 #include "src/core/session.h"
 
+#include <cmath>
+
 #include "src/baseline/baseline_dp.h"
 #include "src/baseline/baseline_pp.h"
 #include "src/core/harmony_dp.h"
@@ -157,9 +159,28 @@ Status ValidateSessionConfig(const Model& model, const SessionConfig& config) {
     return InvalidArgumentError("sim_threads must be >= 0 (0 = HARMONY_SIM_THREADS or 1), got " +
                                 std::to_string(config.sim_threads));
   }
+  if (config.retry_max < 0) {
+    return InvalidArgumentError("retry_max must be >= 0 (0 = retries off), got " +
+                                std::to_string(config.retry_max));
+  }
+  if (!(config.retry_base > 0.0) || !std::isfinite(config.retry_base)) {
+    return InvalidArgumentError("retry_base must be a positive finite delay in seconds");
+  }
+  if (config.ckpt_keep < 1) {
+    return InvalidArgumentError("ckpt_keep must be >= 1, got " +
+                                std::to_string(config.ckpt_keep));
+  }
+  if (config.straggler_threshold != 0.0 &&
+      (!(config.straggler_threshold > 1.0) || !std::isfinite(config.straggler_threshold))) {
+    return InvalidArgumentError(
+        "straggler_threshold must be 0 (off) or > 1 (a healthy device sits at exactly 1.0)");
+  }
   for (const FaultEvent& event : config.faults.events()) {
     const bool targets_gpu =
-        event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade;
+        event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade ||
+        event.kind == FaultKind::kGpuSlow ||
+        ((event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
+         event.gpu >= 0);
     if (targets_gpu && event.gpu >= config.server.num_gpus) {
       return InvalidArgumentError("fault event '" + event.ToString() + "' targets gpu" +
                                   std::to_string(event.gpu) + " but the machine has only " +
@@ -253,7 +274,27 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   engine_options.checkpoint_every = config.checkpoint_every;
   engine_options.watchdog_timeout = config.watchdog_timeout;
   engine_options.fault_mode = !config.faults.empty();
+  engine_options.straggler_threshold = config.straggler_threshold;
+  engine_options.checkpoint_store = config.checkpoint_store;
   Engine engine(&sim, &machine, &memory, &transfers, &collective, &plan, engine_options);
+
+  // Retry tier: the policy is constructed only when a budget is set, so default runs keep
+  // the exact pre-retry abort semantics (and event sequence). The exhaustion handler is
+  // wired unconditionally — a flap with no budget IS immediate exhaustion, and it must
+  // surface as a typed engine failure, not as an aborted completion the memory system
+  // would mistake for delivered bytes.
+  std::optional<RetryPolicy> retry_policy;
+  if (config.retry_max > 0) {
+    RetryPolicyConfig retry_config;
+    retry_config.max_attempts = config.retry_max;
+    retry_config.base_delay_sec = config.retry_base;
+    retry_config.max_delay_sec = config.retry_base * 64.0;
+    retry_policy.emplace(retry_config);
+    transfers.SetRetryPolicy(&*retry_policy);
+  }
+  transfers.SetRetryExhaustedHandler([&engine](std::int64_t /*flow_id*/, SimTime when) {
+    engine.NotifyTransferRetryExhausted(when);
+  });
 
   // The injector is only constructed when faults are armed, so the failure-free path runs
   // the exact historical event sequence.
@@ -262,6 +303,15 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
     injector.emplace(&sim, &transfers);
     injector->SetDeviceFailHandler(
         [&engine](int gpu, SimTime when) { engine.NotifyDeviceFailed(gpu, when); });
+    injector->SetComputeScaleHandler([&engine](int gpu, double scale, SimTime when) {
+      engine.SetComputeScale(gpu, scale, when);
+    });
+    if (config.checkpoint_store != nullptr) {
+      CheckpointStore* store = config.checkpoint_store;
+      injector->SetCheckpointCorruptHandler([store](SimTime /*when*/) {
+        store->CorruptNewest();
+      });
+    }
     injector->Arm(config.faults);
   }
 

@@ -79,6 +79,20 @@ struct SessionConfig {
   int checkpoint_every = 0;       // host-checkpoint weights every k iterations (0 = never)
   double watchdog_timeout = 0.0;  // flag a stalled schedule after this much sim time (0 = off)
 
+  // ---- degraded-mode resilience (DESIGN.md §11; defaults keep everything off) ----
+  // Transfer retry budget: total issues allowed per flow (0 = retries off, transient flow
+  // aborts escalate immediately like pre-retry builds).
+  int retry_max = 0;
+  double retry_base = 0.001;  // base backoff delay in sim seconds (cap = 64x base)
+  // Checkpoint generations retained for integrity verification (ring buffer depth).
+  int ckpt_keep = 2;
+  // EWMA(actual/expected service time) straggler threshold (0 = monitor off; must be > 1
+  // when set — a healthy device sits at exactly 1.0).
+  double straggler_threshold = 0.0;
+  // Ring buffer receiving committed checkpoint generations; owned by the recovery
+  // coordinator (RunTrainingElastic). nullptr = commits are not retained/verified.
+  CheckpointStore* checkpoint_store = nullptr;
+
   // Overrides the scheme-derived memory policy when set (ablations).
   std::optional<MemoryPolicy> policy;
 };

@@ -20,6 +20,7 @@ FaultInjector::FaultInjector(Simulator* sim, TransferManager* transfers)
     : sim_(sim), transfers_(transfers), topology_(&transfers->topology()) {
   HCHECK(topology_->finalized());
   link_scales_.resize(static_cast<std::size_t>(topology_->num_links()));
+  gpu_compute_scales_.resize(static_cast<std::size_t>(topology_->num_gpus()));
 }
 
 void FaultInjector::Arm(const FaultPlan& plan) {
@@ -30,7 +31,11 @@ void FaultInjector::Arm(const FaultPlan& plan) {
 
 std::vector<LinkId> FaultInjector::TargetLinks(const FaultEvent& event) const {
   std::vector<LinkId> links;
-  if (event.kind == FaultKind::kGpuLinkDegrade) {
+  const bool gpu_scoped =
+      event.kind == FaultKind::kGpuLinkDegrade ||
+      ((event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
+       event.gpu >= 0);
+  if (gpu_scoped) {
     const NodeId gpu = topology_->gpu_node(event.gpu);
     for (LinkId lid = 0; lid < topology_->num_links(); ++lid) {
       const TopologyLink& link = topology_->link(lid);
@@ -55,7 +60,10 @@ std::vector<LinkId> FaultInjector::TargetLinks(const FaultEvent& event) const {
 
 void FaultInjector::ApplyEvent(const FaultEvent& event) {
   const bool targets_gpu =
-      event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade;
+      event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade ||
+      event.kind == FaultKind::kGpuSlow ||
+      ((event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
+       event.gpu >= 0);
   if (targets_gpu && (event.gpu < 0 || event.gpu >= topology_->num_gpus())) {
     Trace("drop@" + FormatFixed(sim_->now()) + " " + event.ToString() +
           " (no such GPU on this machine)");
@@ -78,10 +86,52 @@ void FaultInjector::ApplyEvent(const FaultEvent& event) {
     return;
   }
 
+  if (event.kind == FaultKind::kCkptCorrupt) {
+    Trace("apply@" + FormatFixed(sim_->now()) + " " + event.ToString());
+    if (checkpoint_corrupt_handler_) {
+      checkpoint_corrupt_handler_(sim_->now());
+    }
+    return;
+  }
+
+  if (event.kind == FaultKind::kGpuSlow) {
+    const std::int64_t fault_id = next_fault_id_++;
+    Trace("apply@" + FormatFixed(sim_->now()) + " " + event.ToString());
+    gpu_compute_scales_[static_cast<std::size_t>(event.gpu)].push_back(
+        {fault_id, event.scale});
+    ReapplyGpu(event.gpu);
+    if (event.duration > 0.0) {
+      sim_->ScheduleAfter(event.duration, [this, fault_id, event] {
+        Trace("expire@" + FormatFixed(sim_->now()) + " " + event.ToString());
+        auto& active = gpu_compute_scales_[static_cast<std::size_t>(event.gpu)];
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [fault_id](const ActiveScale& s) {
+                                      return s.fault_id == fault_id;
+                                    }),
+                     active.end());
+        ReapplyGpu(event.gpu);
+      });
+    }
+    return;
+  }
+
+  if (event.kind == FaultKind::kFlowFlap) {
+    // Instantaneous: abort (or retry, when the TransferManager carries a retry policy)
+    // every in-flight flow crossing the target's links. No multiplier, no expiry.
+    Trace("apply@" + FormatFixed(sim_->now()) + " " + event.ToString());
+    transfers_->FlapLinkFlows(TargetLinks(event));
+    return;
+  }
+
   const std::vector<LinkId> links = TargetLinks(event);
   const std::int64_t fault_id = next_fault_id_++;
   Trace("apply@" + FormatFixed(sim_->now()) + " " + event.ToString());
   PushScale(links, fault_id, event.scale);
+  if (event.kind == FaultKind::kLinkBrownout) {
+    // A brownout is a degradation whose onset also drops everything in flight: the links
+    // come back at `scale`, and the victims ride the retry tier (or abort without one).
+    transfers_->FlapLinkFlows(links);
+  }
   if (event.duration > 0.0) {
     sim_->ScheduleAfter(event.duration, [this, links, fault_id, event] {
       Trace("expire@" + FormatFixed(sim_->now()) + " " + event.ToString());
@@ -118,6 +168,16 @@ void FaultInjector::ReapplyLink(LinkId link) {
     product *= s.scale;
   }
   transfers_->SetLinkBandwidthScale(link, product);
+}
+
+void FaultInjector::ReapplyGpu(int gpu) {
+  double product = 1.0;
+  for (const ActiveScale& s : gpu_compute_scales_[static_cast<std::size_t>(gpu)]) {
+    product *= s.scale;
+  }
+  if (compute_scale_handler_) {
+    compute_scale_handler_(gpu, product, sim_->now());
+  }
 }
 
 void FaultInjector::Trace(const std::string& line) { trace_.push_back(line); }

@@ -36,6 +36,20 @@ class FaultInjector {
     device_fail_handler_ = std::move(handler);
   }
 
+  // Called whenever a GPU's composed compute multiplier changes (kGpuSlow apply/expire).
+  // `scale` is the product of every active slowdown on that GPU, recomputed in
+  // fault-arrival order like the link multipliers. The engine scales the device's
+  // effective flops for tasks dispatched from `when` on.
+  void SetComputeScaleHandler(std::function<void(int gpu, double scale, SimTime when)> handler) {
+    compute_scale_handler_ = std::move(handler);
+  }
+
+  // Called when a kCkptCorrupt event fires; the session wires this to
+  // CheckpointStore::CorruptNewest. Without a handler the event is trace-only.
+  void SetCheckpointCorruptHandler(std::function<void(SimTime when)> handler) {
+    checkpoint_corrupt_handler_ = std::move(handler);
+  }
+
   // Schedules every event in `plan` relative to the current sim time (Arm is normally
   // called at t=0; a recovery segment re-arms with a time-shifted plan). Events targeting
   // GPUs outside the machine are dropped with a trace note instead of crashing.
@@ -57,23 +71,29 @@ class FaultInjector {
   };
 
   void ApplyEvent(const FaultEvent& event);
-  // Links whose bandwidth the event touches: the GPU's incident links for kGpuLinkDegrade,
-  // every host-incident link for kHostLinkDegrade / kHostMemPressure.
+  // Links whose bandwidth the event touches: the GPU's incident links for GPU-targeted
+  // kinds (kGpuLinkDegrade, and kFlowFlap / kLinkBrownout with gpu >= 0), every
+  // host-incident link otherwise.
   std::vector<LinkId> TargetLinks(const FaultEvent& event) const;
   void PushScale(const std::vector<LinkId>& links, std::int64_t fault_id, double scale);
   void PopScale(const std::vector<LinkId>& links, std::int64_t fault_id);
   // Recomputes the link's effective scale as the product of active multipliers in
   // fault-arrival order and pushes it into the TransferManager.
   void ReapplyLink(LinkId link);
+  // Same composition for per-GPU compute slowdowns; notifies the compute-scale handler.
+  void ReapplyGpu(int gpu);
   void Trace(const std::string& line);
 
   Simulator* sim_;
   TransferManager* transfers_;
   const Topology* topology_;
   std::function<void(int gpu, SimTime when)> device_fail_handler_;
+  std::function<void(int gpu, double scale, SimTime when)> compute_scale_handler_;
+  std::function<void(SimTime when)> checkpoint_corrupt_handler_;
 
   std::int64_t next_fault_id_ = 0;
   std::vector<std::vector<ActiveScale>> link_scales_;  // active multipliers per link
+  std::vector<std::vector<ActiveScale>> gpu_compute_scales_;  // active slowdowns per GPU
   int fail_stops_applied_ = 0;
   std::vector<std::string> trace_;
 };

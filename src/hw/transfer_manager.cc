@@ -274,6 +274,67 @@ void TransferManager::FailNode(NodeId node) {
   ScheduleNextCompletion();
 }
 
+int TransferManager::FlapLinkFlows(const std::vector<LinkId>& links) {
+  AdvanceToNow();
+
+  // Collect victims first — DetachFlow mutates the per-link lists — and sort/dedupe so a
+  // flow crossing several flapped links aborts once, in flow-id order (determinism).
+  std::vector<std::int64_t> doomed;
+  for (LinkId lid : links) {
+    HCHECK_GE(lid, 0);
+    HCHECK_LT(static_cast<std::size_t>(lid), link_flows_.size());
+    for (const Flow* flow : link_flows_[static_cast<std::size_t>(lid)]) {
+      doomed.push_back(flow->id);
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());
+  doomed.erase(std::unique(doomed.begin(), doomed.end()), doomed.end());
+  if (doomed.empty()) {
+    return 0;
+  }
+
+  dirty_scratch_.clear();
+  for (std::int64_t id : doomed) {
+    Flow& flow = flows_.at(id);
+    DetachFlow(flow, &dirty_scratch_);
+    ++flow.attempts;
+    if (retry_policy_ != nullptr && !retry_policy_->Exhausted(flow.attempts)) {
+      // Absorb: re-issue the whole transfer after a deterministic backoff plus the route
+      // latency. Bytes were counted once at StartTransfer; the retransmit costs time and
+      // link occupancy but is never double-counted against node_io / bytes_by_kind.
+      const double backoff = retry_policy_->DelayFor(flow.id, flow.attempts);
+      ++flows_retried_;
+      retry_backoff_sec_ += backoff;
+      flow.bytes_remaining = static_cast<double>(flow.bytes_total);
+      flow.rate = 0.0;
+      flow.completion_time = 0.0;
+      double latency = 0.0;
+      for (LinkId lid : *flow.route) {
+        latency += topology_->link(lid).spec.latency_sec;
+      }
+      const SimLane lane = link_lane_[static_cast<std::size_t>(flow.route->front())];
+      Flow moved = std::move(flow);
+      flows_.erase(id);
+      pending_.emplace(id, std::move(moved));
+      sim_->ScheduleAfter(lane, backoff + latency, [this, id] { JoinFlow(id); });
+    } else {
+      // Budget exhausted (or no policy): surface the abort exactly like a node-failure
+      // victim, plus the typed exhaustion escalation.
+      ++flows_aborted_;
+      ++retry_exhausted_;
+      aborted_events_.insert(flow.done);
+      flow.done->Fire();
+      flows_.erase(id);
+      if (retry_exhausted_handler_) {
+        retry_exhausted_handler_(id, sim_->now());
+      }
+    }
+  }
+  ReRateFlowsOnLinks(&dirty_scratch_);
+  ScheduleNextCompletion();
+  return static_cast<int>(doomed.size());
+}
+
 // ---- indexed completion heap ------------------------------------------------------------
 // A hand-rolled binary min-heap whose entries carry a pointer to their flow; every placement
 // writes the flow's heap_index back, so a flow's entry can be re-keyed or removed in place.

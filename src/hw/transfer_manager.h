@@ -24,6 +24,7 @@
 #define HARMONY_SRC_HW_TRANSFER_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "src/hw/topology.h"
+#include "src/runtime/retry_policy.h"
 #include "src/sim/simulator.h"
 #include "src/util/units.h"
 
@@ -111,6 +113,34 @@ class TransferManager {
   bool WasAborted(const OneShotEvent* done) const { return aborted_events_.count(done) > 0; }
   std::int64_t flows_aborted() const { return flows_aborted_; }
 
+  // ---- retry tier (DESIGN.md §11) ----
+  // Installs the transfer retry policy. With a policy set, transient aborts
+  // (FlapLinkFlows) re-issue the flow from scratch on the simulator clock after a
+  // deterministic backoff instead of firing the completion event aborted; only when the
+  // attempt budget is exhausted does the abort surface. The policy must outlive the
+  // manager's use of it; nullptr (the default) disables retries, preserving the
+  // pre-retry behavior byte for byte.
+  void SetRetryPolicy(const RetryPolicy* policy) { retry_policy_ = policy; }
+
+  // Called (synchronously, at abort time) when a flow exhausts its retry budget. The
+  // engine uses this to escalate to elastic recovery with a typed failure kind.
+  void SetRetryExhaustedHandler(std::function<void(std::int64_t flow_id, SimTime when)> fn) {
+    retry_exhausted_handler_ = std::move(fn);
+  }
+
+  // Transiently aborts every active flow crossing any of `links` (a flow_flap /
+  // brownout fault). Each victim either re-enters the network after its backoff —
+  // full retransmit: bytes already moved are lost, but the start-time byte accounting
+  // is not re-counted — or, with the budget exhausted (or no policy installed), aborts
+  // permanently like a node-failure victim. Flows still inside their route-latency
+  // window have not entered the network and are not affected. Returns the number of
+  // flows hit.
+  int FlapLinkFlows(const std::vector<LinkId>& links);
+
+  std::int64_t flows_retried() const { return flows_retried_; }
+  std::int64_t retry_exhausted() const { return retry_exhausted_; }
+  double retry_backoff_sec() const { return retry_backoff_sec_; }
+
   // ---- accounting ----
   Bytes bytes_by_kind(TransferKind kind) const {
     return bytes_by_kind_[static_cast<std::size_t>(kind)];
@@ -164,6 +194,7 @@ class TransferManager {
     std::size_t heap_index = kNoHeapIndex;
     TransferKind kind = TransferKind::kOther;
     OneShotEvent* done = nullptr;
+    int attempts = 0;  // transient aborts suffered so far (retry tier)
   };
 
   // Indexed-heap entry. `flow` stays valid while the flow is active: unordered_map never
@@ -236,6 +267,12 @@ class TransferManager {
   std::vector<bool> node_dead_;     // fail-stopped nodes
   std::unordered_set<const OneShotEvent*> aborted_events_;
   std::int64_t flows_aborted_ = 0;
+
+  const RetryPolicy* retry_policy_ = nullptr;  // not owned; nullptr = retries disabled
+  std::function<void(std::int64_t, SimTime)> retry_exhausted_handler_;
+  std::int64_t flows_retried_ = 0;      // transient aborts absorbed by a re-issue
+  std::int64_t retry_exhausted_ = 0;    // flows that ran out of attempts
+  double retry_backoff_sec_ = 0.0;      // total backoff delay injected by retries
   std::vector<std::vector<Flow*>> link_flows_;  // flows crossing each link
   std::vector<Completion> completion_heap_;     // indexed min-heap, one entry per flow
   std::vector<LinkStats> link_stats_;

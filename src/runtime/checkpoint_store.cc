@@ -1,0 +1,69 @@
+#include "src/runtime/checkpoint_store.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+CheckpointStore::CheckpointStore(int keep) : keep_(keep) {
+  HCHECK(keep >= 1) << "checkpoint store: keep must be >= 1, got " << keep;
+}
+
+void CheckpointStore::SetBases(int iteration_base, double time_base) {
+  iteration_base_ = iteration_base;
+  time_base_ = time_base;
+}
+
+void CheckpointStore::Commit(int local_iteration, double local_time, Bytes bytes) {
+  CheckpointGeneration gen;
+  gen.iteration = iteration_base_ + local_iteration;
+  gen.time = time_base_ + local_time;
+  gen.bytes = bytes;
+  gen.digest = ComputeDigest(gen);
+  ring_.push_back(gen);
+  ++committed_;
+  while (static_cast<int>(ring_.size()) > keep_) {
+    ring_.pop_front();
+  }
+}
+
+bool CheckpointStore::CorruptNewest() {
+  if (ring_.empty()) {
+    return false;
+  }
+  // Flip bits in the stored digest so re-derivation no longer matches.
+  ring_.back().digest ^= 0xdeadbeefdeadbeefULL;
+  return true;
+}
+
+const CheckpointGeneration* CheckpointStore::NewestValid() {
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->digest == ComputeDigest(*it)) {
+      ++verified_ok_;
+      return &*it;
+    }
+    ++corrupt_detected_;
+  }
+  return nullptr;
+}
+
+std::uint64_t CheckpointStore::ComputeDigest(const CheckpointGeneration& gen) {
+  // FNV-1a over the generation identity; stands in for a payload checksum.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(gen.iteration));
+  std::uint64_t time_bits = 0;
+  static_assert(sizeof(time_bits) == sizeof(gen.time), "double must be 64-bit");
+  std::memcpy(&time_bits, &gen.time, sizeof(time_bits));
+  mix(time_bits);
+  mix(static_cast<std::uint64_t>(gen.bytes));
+  return h;
+}
+
+}  // namespace harmony

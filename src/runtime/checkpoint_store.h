@@ -1,0 +1,70 @@
+#ifndef HARMONY_RUNTIME_CHECKPOINT_STORE_H_
+#define HARMONY_RUNTIME_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/util/units.h"
+
+namespace harmony {
+
+// One committed host checkpoint generation. Iteration and time are *global* (across
+// elastic segments): the store is owned by the recovery coordinator, which re-bases
+// it before each segment so engine-local commits land with run-wide coordinates.
+struct CheckpointGeneration {
+  int iteration = -1;         // global iteration the generation covers (0-based)
+  double time = 0.0;          // global sim time of the commit
+  Bytes bytes = 0;            // weight + optimizer bytes copied out
+  std::uint64_t digest = 0;   // checksum over the generation's payload identity
+};
+
+// Ring buffer of the last K checksummed host checkpoints (DESIGN.md §11).
+//
+// Each commit stores an FNV-1a digest over the generation's identity (iteration,
+// commit time, byte count) — the simulation's stand-in for a checksum of the real
+// tensor payload. A `ckpt_corrupt` fault flips bits in the newest stored digest;
+// recovery then calls NewestValid(), which re-derives the expected digest per
+// generation newest-first and falls back past corrupt ones, so a run survives as
+// long as one of the last K generations verifies.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int keep);
+
+  // Re-bases subsequent Commit() calls: engine-local iteration i at local time t is
+  // recorded as global iteration `iteration_base + i` at time `time_base + t`.
+  void SetBases(int iteration_base, double time_base);
+
+  // Records a generation, evicting the oldest once more than `keep` are resident.
+  void Commit(int local_iteration, double local_time, Bytes bytes);
+
+  // Corrupts the newest resident generation (no-op on an empty store; returns
+  // whether a generation was hit). Models bit-rot on the host checkpoint buffer.
+  bool CorruptNewest();
+
+  // Verifies generations newest-first and returns the newest whose digest matches,
+  // or nullptr when none survives. Every generation inspected bumps the verification
+  // counters (verified_ok / corrupt_detected); the walk stops at the first success.
+  // The returned pointer is invalidated by the next Commit().
+  const CheckpointGeneration* NewestValid();
+
+  int keep() const { return keep_; }
+  int resident() const { return static_cast<int>(ring_.size()); }
+  int committed() const { return committed_; }                  // total commits ever
+  int verified_ok() const { return verified_ok_; }              // digest checks passed
+  int corrupt_detected() const { return corrupt_detected_; }    // digest checks failed
+
+ private:
+  static std::uint64_t ComputeDigest(const CheckpointGeneration& gen);
+
+  int keep_;
+  int iteration_base_ = 0;
+  double time_base_ = 0.0;
+  int committed_ = 0;
+  int verified_ok_ = 0;
+  int corrupt_detected_ = 0;
+  std::deque<CheckpointGeneration> ring_;  // oldest first
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_RUNTIME_CHECKPOINT_STORE_H_

@@ -49,6 +49,14 @@ Engine::Engine(Simulator* sim, const Machine* machine, MemorySystem* memory,
     }
   }
   last_snapshot_ = TakeSnapshot();
+  compute_scale_.assign(static_cast<std::size_t>(plan->num_devices()), 1.0);
+  degraded_since_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  degraded_sec_.assign(static_cast<std::size_t>(plan->num_devices()), 0.0);
+  if (options_.straggler_threshold > 0.0) {
+    HealthMonitorOptions monitor_options;
+    monitor_options.threshold = options_.straggler_threshold;
+    monitor_ = std::make_unique<HealthMonitor>(plan->num_devices(), monitor_options);
+  }
 
   // Build the next-use index and hand the memory system its lookahead oracle. The oracle is
   // harmless under LRU policies (never consulted).
@@ -96,7 +104,8 @@ RunReport Engine::Run() {
     StartNextTask(d);
   }
   if (options_.watchdog_timeout > 0.0) {
-    sim_->ScheduleAfter(options_.watchdog_timeout, [this] { WatchdogCheck(0); });
+    watchdog_anchor_ = sim_->now();
+    ArmWatchdog(0);
   }
   sim_->RunUntilIdle();
   if (!aborting_) {
@@ -120,6 +129,26 @@ RunReport Engine::Run() {
   report.checkpoint_bytes = checkpoint_bytes_;
   report.last_checkpoint_iteration = last_checkpoint_iteration_;
   report.last_checkpoint_time = last_checkpoint_time_;
+  report.flows_retried = transfers_->flows_retried();
+  report.retry_exhausted = transfers_->retry_exhausted();
+  report.retry_backoff_sec = transfers_->retry_backoff_sec();
+  report.straggler_device = failure_kind_ == "gpu-straggler" ? failed_device_ : -1;
+  for (int d = 0; d < plan_->num_devices(); ++d) {
+    const std::size_t slot = static_cast<std::size_t>(d);
+    double degraded = degraded_sec_[slot];
+    if (compute_scale_[slot] < 1.0) {
+      // Window still open at the end of the run: close it at the reported makespan.
+      degraded += std::max(report.makespan - degraded_since_[slot], 0.0);
+    }
+    degraded = std::min(std::max(degraded, 0.0), std::max(report.makespan, 0.0));
+    report.device_degraded_sec.push_back(degraded);
+    report.degraded_sec += degraded;
+  }
+  if (options_.checkpoint_store != nullptr) {
+    report.ckpt_generations = options_.checkpoint_store->resident();
+    report.ckpt_verified_ok = options_.checkpoint_store->verified_ok();
+    report.ckpt_corrupt_detected = options_.checkpoint_store->corrupt_detected();
+  }
   report.samples_per_iteration = plan_->samples_per_iteration;
   report.iterations = iteration_stats_;
   report.device_busy = device_busy_;
@@ -301,9 +330,23 @@ void Engine::RunWithHandle(int device, TaskId task_id,
     return;
   }
 
-  const double rate = machine_->gpus[static_cast<std::size_t>(device)].effective_flops();
+  // A healthy device multiplies by exactly 1.0, which is bitwise identity — the
+  // failure-free path stays byte-identical to the pre-resilience engine.
+  const double rate = machine_->gpus[static_cast<std::size_t>(device)].effective_flops() *
+                      compute_scale_[slot];
   HCHECK_GT(rate, 0.0);
   const double duration = task.flops / rate;
+  if (monitor_ != nullptr && duration > 0.0) {
+    const double expected =
+        task.flops / machine_->gpus[static_cast<std::size_t>(device)].effective_flops();
+    monitor_->Observe(device, expected, duration);
+    if (!straggler_pending_ && plan_->num_devices() > 1 && monitor_->IsStraggler(device)) {
+      // Defer the graceful degradation to the next iteration boundary so the segment
+      // closes on complete iterations (no rollback needed).
+      straggler_pending_ = true;
+      straggler_device_ = device;
+    }
+  }
   device_busy_[static_cast<std::size_t>(device)] += duration;
   device_time_[slot].of(TimeClass::kCompute) += duration;
   sim_->ScheduleAfter(compute_lane_[static_cast<std::size_t>(device)], duration,
@@ -406,6 +449,17 @@ void Engine::OnIterationComplete(int iteration) {
   last_snapshot_ = snap;
   last_iteration_end_ = sim_->now();
   MaybeCheckpoint(iteration);
+  if (straggler_pending_ && !aborting_ && iteration + 1 < plan_->num_iterations) {
+    // Graceful degradation: end the segment on this complete iteration boundary. The
+    // recovery coordinator resumes from iteration + 1 without touching the checkpoint.
+    // On the final iteration (or a single-device plan) the run just completes degraded.
+    aborting_ = true;
+    failed_ = true;
+    failure_kind_ = "gpu-straggler";
+    failed_device_ = straggler_device_;
+    failure_time_ = sim_->now();
+    finish_time_ = std::max(finish_time_, sim_->now());
+  }
 }
 
 void Engine::MaybeCheckpoint(int iteration) {
@@ -454,6 +508,9 @@ void Engine::MaybeCheckpoint(int iteration) {
     if (iteration > last_checkpoint_iteration_) {
       last_checkpoint_iteration_ = iteration;
       last_checkpoint_time_ = sim_->now();
+      if (options_.checkpoint_store != nullptr) {
+        options_.checkpoint_store->Commit(iteration, sim_->now(), total);
+      }
     }
     finish_time_ = std::max(finish_time_, sim_->now());
   });
@@ -471,6 +528,31 @@ void Engine::NotifyDeviceFailed(int gpu, SimTime when) {
   finish_time_ = std::max(finish_time_, when);
 }
 
+void Engine::NotifyTransferRetryExhausted(SimTime when) {
+  if (aborting_) {
+    return;
+  }
+  aborting_ = true;
+  failed_ = true;
+  failure_kind_ = "transfer-retry-exhausted";
+  failed_device_ = -1;
+  failure_time_ = when;
+  finish_time_ = std::max(finish_time_, when);
+}
+
+void Engine::SetComputeScale(int gpu, double scale, SimTime when) {
+  if (gpu < 0 || gpu >= plan_->num_devices()) {
+    return;
+  }
+  const std::size_t slot = static_cast<std::size_t>(gpu);
+  if (compute_scale_[slot] < 1.0) {
+    // Close the open degraded window before the scale changes.
+    degraded_sec_[slot] += std::max(when - degraded_since_[slot], 0.0);
+  }
+  degraded_since_[slot] = when;
+  compute_scale_[slot] = scale;
+}
+
 void Engine::WatchdogCheck(int last_completed) {
   if (aborting_ || completed_tasks_ == static_cast<int>(plan_->tasks.size())) {
     return;  // stop re-arming so the sim can go idle
@@ -485,8 +567,15 @@ void Engine::WatchdogCheck(int last_completed) {
     finish_time_ = std::max(finish_time_, sim_->now());
     return;
   }
-  const int snapshot = completed_tasks_;
-  sim_->ScheduleAfter(options_.watchdog_timeout, [this, snapshot] { WatchdogCheck(snapshot); });
+  ArmWatchdog(completed_tasks_);
+}
+
+void Engine::ArmWatchdog(int last_completed) {
+  // Deadline k lands at exactly anchor + k * timeout (one multiply, not k accumulated
+  // adds), so a stall detected in period k reports failure_time == k * timeout bitwise.
+  const double deadline =
+      watchdog_anchor_ + static_cast<double>(++watchdog_periods_) * options_.watchdog_timeout;
+  sim_->ScheduleAt(deadline, [this, last_completed] { WatchdogCheck(last_completed); });
 }
 
 void Engine::ReportDeadlock() const {

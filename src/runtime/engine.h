@@ -24,7 +24,9 @@
 #include "src/hw/topology.h"
 #include "src/hw/transfer_manager.h"
 #include "src/mem/memory_manager.h"
+#include "src/runtime/checkpoint_store.h"
 #include "src/runtime/collective.h"
+#include "src/runtime/health_monitor.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/next_use.h"
 #include "src/sim/simulator.h"
@@ -47,6 +49,13 @@ struct EngineOptions {
   // productive event instead of sim idle time (fault expiries and watchdog ticks can leave
   // the sim clock past the real finish).
   bool fault_mode = false;
+  // Health-monitor straggler threshold: EWMA(actual/expected task service time) above
+  // which a device is classified a straggler and the segment ends gracefully at the next
+  // iteration boundary (failure kind "gpu-straggler", no rollback). 0 = monitor off.
+  double straggler_threshold = 0.0;
+  // Ring buffer receiving committed checkpoint generations (owned by the recovery
+  // coordinator; nullptr = commits are counted but not retained for verification).
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct TaskTrace {
@@ -73,6 +82,16 @@ class Engine {
   // in the recovery coordinator.
   void NotifyDeviceFailed(int gpu, SimTime when);
 
+  // TransferManager callback: a transfer ran out of retry attempts at `when`. The engine
+  // aborts with the typed failure kind "transfer-retry-exhausted"; the recovery
+  // coordinator rolls back to the newest valid checkpoint without excluding any device.
+  void NotifyTransferRetryExhausted(SimTime when);
+
+  // Fault-injector callback: GPU `gpu` now computes at `scale` of its rated flops
+  // (composed product of active kGpuSlow faults; 1.0 = healthy). Applies to tasks
+  // dispatched from `when` on and feeds the degraded-seconds integral.
+  void SetComputeScale(int gpu, double scale, SimTime when);
+
   const std::vector<TaskTrace>& timeline() const { return timeline_; }
 
  private:
@@ -98,6 +117,10 @@ class Engine {
   void OnIterationComplete(int iteration);
   void MaybeCheckpoint(int iteration);
   void WatchdogCheck(int last_completed);
+  // Schedules the next watchdog check at an *absolute* deadline (period k lands at
+  // exactly k * timeout): re-arming relative to the callback's fire time accumulates
+  // FP round-off, drifting the deadlines the determinism tests pin.
+  void ArmWatchdog(int last_completed);
   bool fault_mode() const {
     return options_.fault_mode || options_.checkpoint_every > 0 ||
            options_.watchdog_timeout > 0.0 || failed_;
@@ -159,6 +182,18 @@ class Engine {
   Bytes checkpoint_bytes_ = 0;
   int last_checkpoint_iteration_ = -1;
   double last_checkpoint_time_ = 0.0;
+
+  // ---- degraded-mode resilience (DESIGN.md §11) ----
+  std::int64_t watchdog_periods_ = 0;  // periods armed; deadline = anchor + periods * timeout
+  double watchdog_anchor_ = 0.0;       // sim time of Run() start
+  // Per-device compute multiplier from active kGpuSlow faults (1.0 = healthy) and the
+  // time-integral of degraded operation (any scale < 1).
+  std::vector<double> compute_scale_;
+  std::vector<double> degraded_since_;  // window start while degraded; meaningful iff < 1
+  std::vector<double> degraded_sec_;
+  std::unique_ptr<HealthMonitor> monitor_;  // present iff straggler_threshold > 0
+  bool straggler_pending_ = false;
+  int straggler_device_ = -1;
 };
 
 }  // namespace harmony

@@ -1,0 +1,44 @@
+#include "src/runtime/health_monitor.h"
+
+#include "src/util/check.h"
+
+namespace harmony {
+
+HealthMonitor::HealthMonitor(int num_devices, const HealthMonitorOptions& options)
+    : options_(options),
+      ewma_(static_cast<std::size_t>(num_devices), 1.0),
+      observations_(static_cast<std::size_t>(num_devices), 0) {
+  HCHECK(num_devices >= 1) << "health monitor: need at least one device";
+  HCHECK(options.alpha > 0.0 && options.alpha <= 1.0)
+      << "health monitor: alpha must be in (0, 1], got " << options.alpha;
+  HCHECK(options.min_observations >= 1)
+      << "health monitor: min_observations must be >= 1";
+  HCHECK(options.threshold >= 0.0) << "health monitor: threshold must be >= 0";
+}
+
+void HealthMonitor::Observe(int device, double expected_sec, double actual_sec) {
+  HCHECK(device >= 0 && device < static_cast<int>(ewma_.size()))
+      << "health monitor: device " << device << " out of range";
+  HCHECK(expected_sec > 0.0 && actual_sec > 0.0)
+      << "health monitor: service times must be positive";
+  const double ratio = actual_sec / expected_sec;
+  const auto slot = static_cast<std::size_t>(device);
+  auto& e = ewma_[slot];
+  if (observations_[slot] == 0) {
+    e = ratio;  // seed the EWMA with the first sample instead of the 1.0 prior
+  } else {
+    e += options_.alpha * (ratio - e);
+  }
+  ++observations_[slot];
+}
+
+bool HealthMonitor::IsStraggler(int device) const {
+  if (options_.threshold <= 0.0) {
+    return false;
+  }
+  const auto slot = static_cast<std::size_t>(device);
+  return observations_[slot] >= options_.min_observations &&
+         ewma_[slot] > options_.threshold;
+}
+
+}  // namespace harmony

@@ -1,0 +1,50 @@
+#ifndef HARMONY_RUNTIME_HEALTH_MONITOR_H_
+#define HARMONY_RUNTIME_HEALTH_MONITOR_H_
+
+#include <vector>
+
+namespace harmony {
+
+struct HealthMonitorOptions {
+  // EWMA(actual / expected service time) above which a device is classified a
+  // straggler. 0 disables classification (the monitor still tracks EWMAs);
+  // meaningful values are > 1 (e.g. 1.5 flags devices running ~1.5x slower than
+  // the plan estimate).
+  double threshold = 0.0;
+  double alpha = 0.25;       // EWMA smoothing factor, in (0, 1]
+  int min_observations = 3;  // tasks observed before a device may be classified
+};
+
+// Per-device service-time tracker (DESIGN.md §11). The engine feeds it one
+// observation per compute task — the plan's estimated duration vs. the duration
+// the device actually took — and it maintains an EWMA of the slowdown ratio.
+// A device whose EWMA exceeds the threshold after enough observations is a
+// straggler; the engine then ends the segment gracefully at the next iteration
+// boundary so the recovery coordinator can shift its work onto healthy devices
+// without rolling back to a checkpoint.
+class HealthMonitor {
+ public:
+  HealthMonitor(int num_devices, const HealthMonitorOptions& options);
+
+  // Records one completed task's service time on `device`. Both durations must be
+  // positive; the observation updates the device's EWMA of actual/expected.
+  void Observe(int device, double expected_sec, double actual_sec);
+
+  // True when `device` has enough observations and its EWMA exceeds the threshold.
+  bool IsStraggler(int device) const;
+
+  double ewma(int device) const { return ewma_[static_cast<std::size_t>(device)]; }
+  int observations(int device) const {
+    return observations_[static_cast<std::size_t>(device)];
+  }
+  const HealthMonitorOptions& options() const { return options_; }
+
+ private:
+  HealthMonitorOptions options_;
+  std::vector<double> ewma_;
+  std::vector<int> observations_;
+};
+
+}  // namespace harmony
+
+#endif  // HARMONY_RUNTIME_HEALTH_MONITOR_H_

@@ -161,6 +161,13 @@ AttributionReport Attribute(const RunReport& report, int top_tensors) {
       out.top_churn.size() > static_cast<std::size_t>(top_tensors)) {
     out.top_churn.resize(static_cast<std::size_t>(top_tensors));
   }
+  out.flows_retried = report.flows_retried;
+  out.retry_exhausted = report.retry_exhausted;
+  out.retry_backoff_sec = report.retry_backoff_sec;
+  out.degraded_sec = report.degraded_sec;
+  out.straggler_device = report.straggler_device;
+  out.ckpt_verified_ok = report.ckpt_verified_ok;
+  out.ckpt_corrupt_detected = report.ckpt_corrupt_detected;
   return out;
 }
 
@@ -221,6 +228,37 @@ std::string AttributionReport::Render() const {
                     static_cast<long long>(churn.refetches()),
                     static_cast<long long>(churn.clean_drops),
                     static_cast<long long>(churn.write_backs));
+      os << buffer;
+    }
+  }
+  // Only printed when the run actually exercised the resilience tier, so failure-free
+  // output stays byte-identical to the pre-resilience renderer.
+  if (flows_retried > 0 || retry_exhausted > 0 || degraded_sec > 0.0 ||
+      straggler_device >= 0 || ckpt_verified_ok > 0 || ckpt_corrupt_detected > 0) {
+    os << "  degraded-mode resilience:\n";
+    if (flows_retried > 0 || retry_exhausted > 0) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "    transfer retries: %lld reissued (%.3f s backoff), %lld exhausted\n",
+                    static_cast<long long>(flows_retried), retry_backoff_sec,
+                    static_cast<long long>(retry_exhausted));
+      os << buffer;
+    }
+    if (degraded_sec > 0.0 || straggler_device >= 0) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "    degraded compute: %.3f device-seconds at reduced scale%s\n",
+                    degraded_sec,
+                    straggler_device >= 0 ? " (straggler classified)" : "");
+      os << buffer;
+      if (straggler_device >= 0) {
+        std::snprintf(buffer, sizeof(buffer), "    straggler device: gpu%d\n",
+                      straggler_device);
+        os << buffer;
+      }
+    }
+    if (ckpt_verified_ok > 0 || ckpt_corrupt_detected > 0) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "    checkpoint verification: %d ok, %d corrupt\n", ckpt_verified_ok,
+                    ckpt_corrupt_detected);
       os << buffer;
     }
   }

@@ -153,13 +153,25 @@ struct RunReport {
 
   // ---- fault / recovery (all zero on a failure-free run; Summary() never prints them) ----
   bool failed = false;          // the run stopped early (fail-stop or watchdog stall)
-  std::string failure_kind;     // "gpu-fail-stop" | "watchdog-stall"
-  int failed_device = -1;       // GPU index for gpu-fail-stop
+  std::string failure_kind;     // "gpu-fail-stop" | "watchdog-stall" | "gpu-straggler" |
+                                // "transfer-retry-exhausted"
+  int failed_device = -1;       // GPU index for gpu-fail-stop / gpu-straggler
   double failure_time = 0.0;    // sim time the failure was detected
   int checkpoints_committed = 0;
   Bytes checkpoint_bytes = 0;           // total bytes copied out across all checkpoints
   int last_checkpoint_iteration = -1;   // -1 = no committed checkpoint (restart from init)
   double last_checkpoint_time = 0.0;
+
+  // ---- degraded-mode resilience (DESIGN.md §11; all zero on a failure-free run) ----
+  std::int64_t flows_retried = 0;   // transient flow aborts re-issued by the retry tier
+  std::int64_t retry_exhausted = 0;  // flows that ran out of attempts (escalated)
+  double retry_backoff_sec = 0.0;    // total backoff delay inserted across all retries
+  int straggler_device = -1;         // device classified as straggler; -1 = none
+  std::vector<double> device_degraded_sec;  // seconds each device spent at scale < 1
+  double degraded_sec = 0.0;                // sum over devices, each clamped to makespan
+  int ckpt_generations = 0;       // checkpoint generations resident in the ring buffer
+  int ckpt_verified_ok = 0;       // generations that passed digest verification
+  int ckpt_corrupt_detected = 0;  // generations rejected by digest verification
 
   int num_devices() const { return static_cast<int>(device_busy.size()); }
 
@@ -199,6 +211,17 @@ struct AttributionReport {
   Bytes bottleneck_bytes = 0;
 
   std::vector<RunReport::TensorChurn> top_churn;  // by moved_bytes(), descending
+
+  // Resilience scalars mirrored from the RunReport (all zero / -1 on a failure-free run;
+  // Render() only prints the section when something is nonzero, keeping historical output
+  // byte-identical).
+  std::int64_t flows_retried = 0;
+  std::int64_t retry_exhausted = 0;
+  double retry_backoff_sec = 0.0;
+  double degraded_sec = 0.0;
+  int straggler_device = -1;
+  int ckpt_verified_ok = 0;
+  int ckpt_corrupt_detected = 0;
 
   std::string Summary() const;  // one line, for tables / tuner rows
   std::string Render() const;   // multi-line human-readable report

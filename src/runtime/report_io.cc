@@ -117,7 +117,7 @@ std::string ReportToJson(const RunReport& report) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"harmony-run-report\",\n";
-  os << "  \"version\": 1,\n";
+  os << "  \"version\": 2,\n";
   os << "  \"scheme\": " << JsonString(report.scheme) << ",\n";
   os << "  \"makespan_s\": " << JsonNumber(report.makespan) << ",\n";
   os << "  \"samples_per_iteration\": " << report.samples_per_iteration << ",\n";
@@ -127,6 +127,20 @@ std::string ReportToJson(const RunReport& report) {
        << ", \"device\": " << report.failed_device
        << ", \"time_s\": " << JsonNumber(report.failure_time) << "},\n";
   }
+  // Schema v2: always present (zeros on a failure-free run) so consumers can key on the
+  // fields without probing. Field order is fixed for byte-stable exports.
+  os << "  \"resilience\": {\"flows_retried\": " << report.flows_retried
+     << ", \"retry_exhausted\": " << report.retry_exhausted
+     << ", \"retry_backoff_s\": " << JsonNumber(report.retry_backoff_sec)
+     << ", \"straggler_device\": " << report.straggler_device
+     << ", \"degraded_s\": " << JsonNumber(report.degraded_sec)
+     << ", \"device_degraded_s\": [";
+  for (std::size_t d = 0; d < report.device_degraded_sec.size(); ++d) {
+    os << (d > 0 ? ", " : "") << JsonNumber(report.device_degraded_sec[d]);
+  }
+  os << "], \"ckpt_generations\": " << report.ckpt_generations
+     << ", \"ckpt_verified_ok\": " << report.ckpt_verified_ok
+     << ", \"ckpt_corrupt_detected\": " << report.ckpt_corrupt_detected << "},\n";
   os << "  \"totals\": {\"swap_in_bytes\": " << report.total_swap_in
      << ", \"swap_out_bytes\": " << report.total_swap_out
      << ", \"p2p_bytes\": " << report.total_p2p

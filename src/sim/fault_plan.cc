@@ -18,61 +18,120 @@ std::string FormatFixed(double value) {
   return buffer;
 }
 
-Status MalformedEvent(const std::string& event, const std::string& why) {
-  return InvalidArgumentError("malformed fault event '" + event + "': " + why +
-                              " (see --help for the --faults grammar)");
+// Permanent effects (duration == 0 internally) render as the literal "inf" so that the
+// grammar round-trips: a rendered plan re-parses to the identical plan, and a rendered
+// positive duration can never collide with the permanent sentinel.
+std::string FormatDuration(double duration) {
+  return duration == 0.0 ? "inf" : FormatFixed(duration);
 }
 
-// Splits on `sep`, keeping empty fields.
-std::vector<std::string> Split(const std::string& s, char sep) {
-  std::vector<std::string> out;
+// A field within one event, remembering where it starts in the original spec so parse
+// errors can point at the offending byte (same convention as util/json.cc).
+struct Field {
+  std::string text;
+  std::size_t offset = 0;  // absolute byte offset in the spec string
+};
+
+Status MalformedEvent(const std::string& event, std::size_t offset,
+                      const std::string& why) {
+  return InvalidArgumentError("malformed fault event '" + event + "': " + why +
+                              " (at byte " + std::to_string(offset) +
+                              "; see --help for the --faults grammar)");
+}
+
+// Splits on `sep`, keeping empty fields and recording each field's absolute offset
+// (`base` = offset of `s` within the full spec).
+std::vector<Field> Split(const std::string& s, char sep, std::size_t base) {
+  std::vector<Field> out;
   std::string::size_type start = 0;
   for (;;) {
     const auto pos = s.find(sep, start);
     if (pos == std::string::npos) {
-      out.push_back(s.substr(start));
+      out.push_back(Field{s.substr(start), base + start});
       return out;
     }
-    out.push_back(s.substr(start, pos - start));
+    out.push_back(Field{s.substr(start, pos - start), base + start});
     start = pos + 1;
   }
 }
 
-StatusOr<double> ParseDouble(const std::string& event, const std::string& field,
+StatusOr<double> ParseDouble(const std::string& event, const Field& field,
                              const std::string& what) {
   char* end = nullptr;
-  const double value = std::strtod(field.c_str(), &end);
-  if (field.empty() || end != field.c_str() + field.size() || !std::isfinite(value)) {
-    return MalformedEvent(event, what + " must be a finite number, got '" + field + "'");
+  const double value = std::strtod(field.text.c_str(), &end);
+  if (field.text.empty() || end != field.text.c_str() + field.text.size() ||
+      !std::isfinite(value)) {
+    return MalformedEvent(event, field.offset,
+                          what + " must be a finite number, got '" + field.text + "'");
   }
   return value;
 }
 
-StatusOr<int> ParseGpuField(const std::string& event, const std::string& field) {
-  if (field.rfind("gpu", 0) != 0 || field.size() == 3) {
-    return MalformedEvent(event, "expected a target like 'gpu2', got '" + field + "'");
+// Scales are multipliers in (0, 1]; zero, negative, out-of-range and NaN all reject.
+StatusOr<double> ParseScale(const std::string& event, const Field& field) {
+  StatusOr<double> scale = ParseDouble(event, field, "scale");
+  if (!scale.ok()) {
+    return scale.status();
   }
-  const std::string digits = field.substr(3);
+  if (scale.value() <= 0.0 || scale.value() > 1.0) {
+    return MalformedEvent(event, field.offset, "scale must be in (0, 1]");
+  }
+  return scale.value();
+}
+
+// Durations are strictly positive seconds or the literal "inf" (permanent; internal
+// sentinel 0.0). Zero, negative and NaN durations reject at parse time.
+StatusOr<double> ParseDurationField(const std::string& event, const Field& field) {
+  if (field.text == "inf") {
+    return 0.0;
+  }
+  StatusOr<double> duration = ParseDouble(event, field, "duration");
+  if (!duration.ok()) {
+    return duration.status();
+  }
+  if (duration.value() <= 0.0) {
+    return MalformedEvent(event, field.offset,
+                          "duration must be > 0 seconds or 'inf' (permanent)");
+  }
+  return duration.value();
+}
+
+StatusOr<int> ParseGpuField(const std::string& event, const Field& field) {
+  if (field.text.rfind("gpu", 0) != 0 || field.text.size() == 3) {
+    return MalformedEvent(event, field.offset,
+                          "expected a target like 'gpu2', got '" + field.text + "'");
+  }
+  const std::string digits = field.text.substr(3);
   char* end = nullptr;
   const long gpu = std::strtol(digits.c_str(), &end, 10);
   if (end != digits.c_str() + digits.size() || gpu < 0) {
-    return MalformedEvent(event, "expected a target like 'gpu2', got '" + field + "'");
+    return MalformedEvent(event, field.offset,
+                          "expected a target like 'gpu2', got '" + field.text + "'");
   }
   return static_cast<int>(gpu);
 }
 
-StatusOr<FaultPlan> ParseRandSpec(const std::string& event) {
+// Parses "gpu<i>" or "host" (host encodes as gpu = -1).
+StatusOr<int> ParseTargetField(const std::string& event, const Field& field) {
+  if (field.text == "host") {
+    return -1;
+  }
+  return ParseGpuField(event, field);
+}
+
+StatusOr<FaultPlan> ParseRandSpec(const std::string& event, std::size_t offset) {
   RandomFaultOptions options;
   // event = "rand:key=value,key=value,..."
-  for (const std::string& kv : Split(event.substr(5), ',')) {
-    const auto eq = kv.find('=');
+  for (const Field& kv : Split(event.substr(5), ',', offset + 5)) {
+    const auto eq = kv.text.find('=');
     if (eq == std::string::npos) {
-      return MalformedEvent(event, "rand options must be key=value, got '" + kv + "'");
+      return MalformedEvent(event, kv.offset,
+                            "rand options must be key=value, got '" + kv.text + "'");
     }
-    const std::string key = kv.substr(0, eq);
-    const std::string value = kv.substr(eq + 1);
+    const std::string key = kv.text.substr(0, eq);
+    const Field value{kv.text.substr(eq + 1), kv.offset + eq + 1};
     if (key == "seed") {
-      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+      options.seed = std::strtoull(value.text.c_str(), nullptr, 10);
     } else if (key == "mtbf") {
       StatusOr<double> v = ParseDouble(event, value, "mtbf");
       if (!v.ok()) {
@@ -86,15 +145,21 @@ StatusOr<FaultPlan> ParseRandSpec(const std::string& event) {
       }
       options.horizon = v.value();
     } else if (key == "gpus") {
-      options.num_gpus = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
-    } else if (key == "fail") {
-      options.allow_fail_stop = value == "1" || value == "true";
+      options.num_gpus = static_cast<int>(std::strtol(value.text.c_str(), nullptr, 10));
+    } else if (key == "fail" || key == "ext" || key == "ckpt") {
+      const bool on = value.text == "1" || value.text == "true";
+      if (!on && value.text != "0" && value.text != "false") {
+        return MalformedEvent(event, value.offset,
+                              key + " must be 0, 1, true or false, got '" + value.text + "'");
+      }
+      (key == "fail" ? options.allow_fail_stop
+                     : key == "ext" ? options.transient : options.ckpt_faults) = on;
     } else {
-      return MalformedEvent(event, "unknown rand option '" + key + "'");
+      return MalformedEvent(event, kv.offset, "unknown rand option '" + key + "'");
     }
   }
   if (options.mtbf <= 0.0 || options.horizon <= 0.0 || options.num_gpus <= 0) {
-    return MalformedEvent(event, "mtbf, horizon and gpus must all be positive");
+    return MalformedEvent(event, offset, "mtbf, horizon and gpus must all be positive");
   }
   return MakeRandomFaultPlan(options);
 }
@@ -111,27 +176,52 @@ const char* FaultKindName(FaultKind kind) {
       return "host-link-degrade";
     case FaultKind::kHostMemPressure:
       return "host-mem-pressure";
+    case FaultKind::kFlowFlap:
+      return "flow-flap";
+    case FaultKind::kLinkBrownout:
+      return "link-brownout";
+    case FaultKind::kGpuSlow:
+      return "gpu-slow";
+    case FaultKind::kCkptCorrupt:
+      return "ckpt-corrupt";
   }
   return "unknown";
 }
 
 std::string FaultEvent::ToString() const {
   std::ostringstream os;
+  const auto target = [this]() -> std::string {
+    return gpu < 0 ? "host" : "gpu" + std::to_string(gpu);
+  };
   switch (kind) {
     case FaultKind::kGpuFailStop:
       os << "fail@" << FormatFixed(time) << ":gpu" << gpu;
       break;
     case FaultKind::kGpuLinkDegrade:
       os << "degrade@" << FormatFixed(time) << ":gpu" << gpu << ":" << FormatFixed(scale)
-         << ":" << FormatFixed(duration);
+         << ":" << FormatDuration(duration);
       break;
     case FaultKind::kHostLinkDegrade:
       os << "degrade@" << FormatFixed(time) << ":host:" << FormatFixed(scale) << ":"
-         << FormatFixed(duration);
+         << FormatDuration(duration);
       break;
     case FaultKind::kHostMemPressure:
       os << "mem@" << FormatFixed(time) << ":" << FormatFixed(scale) << ":"
-         << FormatFixed(duration);
+         << FormatDuration(duration);
+      break;
+    case FaultKind::kFlowFlap:
+      os << "flow_flap@" << FormatFixed(time) << ":" << target();
+      break;
+    case FaultKind::kLinkBrownout:
+      os << "brownout@" << FormatFixed(time) << ":" << target() << ":"
+         << FormatFixed(scale) << ":" << FormatDuration(duration);
+      break;
+    case FaultKind::kGpuSlow:
+      os << "gpu_slow@" << FormatFixed(time) << ":gpu" << gpu << ":" << FormatFixed(scale)
+         << ":" << FormatDuration(duration);
+      break;
+    case FaultKind::kCkptCorrupt:
+      os << "ckpt_corrupt@" << FormatFixed(time);
       break;
   }
   return os.str();
@@ -158,12 +248,14 @@ std::string FaultPlan::ToString() const {
 
 StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
   FaultPlan plan;
-  for (const std::string& event : Split(spec, ';')) {
+  for (const Field& item : Split(spec, ';', 0)) {
+    const std::string& event = item.text;
+    const std::size_t offset = item.offset;
     if (event.empty()) {
       continue;
     }
     if (event.rfind("rand:", 0) == 0) {
-      StatusOr<FaultPlan> random = ParseRandSpec(event);
+      StatusOr<FaultPlan> random = ParseRandSpec(event, offset);
       if (!random.ok()) {
         return random.status();
       }
@@ -174,23 +266,23 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
     }
     const auto at = event.find('@');
     if (at == std::string::npos) {
-      return MalformedEvent(event, "expected '<kind>@<time>:...'");
+      return MalformedEvent(event, offset, "expected '<kind>@<time>:...'");
     }
     const std::string kind = event.substr(0, at);
-    const std::vector<std::string> fields = Split(event.substr(at + 1), ':');
+    const std::vector<Field> fields = Split(event.substr(at + 1), ':', offset + at + 1);
     StatusOr<double> time = ParseDouble(event, fields[0], "time");
     if (!time.ok()) {
       return time.status();
     }
     if (time.value() < 0.0) {
-      return MalformedEvent(event, "time must be >= 0");
+      return MalformedEvent(event, fields[0].offset, "time must be >= 0");
     }
 
     FaultEvent e;
     e.time = time.value();
     if (kind == "fail") {
       if (fields.size() != 2) {
-        return MalformedEvent(event, "expected fail@<t>:gpu<i>");
+        return MalformedEvent(event, offset, "expected fail@<t>:gpu<i>");
       }
       StatusOr<int> gpu = ParseGpuField(event, fields[1]);
       if (!gpu.ok()) {
@@ -200,57 +292,99 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       e.gpu = gpu.value();
     } else if (kind == "degrade") {
       if (fields.size() != 4) {
-        return MalformedEvent(event, "expected degrade@<t>:<gpu<i>|host>:<scale>:<dur>");
+        return MalformedEvent(event, offset,
+                              "expected degrade@<t>:<gpu<i>|host>:<scale>:<dur>");
       }
-      StatusOr<double> scale = ParseDouble(event, fields[2], "scale");
+      StatusOr<double> scale = ParseScale(event, fields[2]);
       if (!scale.ok()) {
         return scale.status();
       }
-      StatusOr<double> duration = ParseDouble(event, fields[3], "duration");
+      StatusOr<double> duration = ParseDurationField(event, fields[3]);
       if (!duration.ok()) {
         return duration.status();
-      }
-      if (scale.value() <= 0.0 || scale.value() > 1.0) {
-        return MalformedEvent(event, "scale must be in (0, 1]");
-      }
-      if (duration.value() < 0.0) {
-        return MalformedEvent(event, "duration must be >= 0 (0 = permanent)");
       }
       e.scale = scale.value();
       e.duration = duration.value();
-      if (fields[1] == "host") {
-        e.kind = FaultKind::kHostLinkDegrade;
-      } else {
-        StatusOr<int> gpu = ParseGpuField(event, fields[1]);
-        if (!gpu.ok()) {
-          return gpu.status();
-        }
-        e.kind = FaultKind::kGpuLinkDegrade;
-        e.gpu = gpu.value();
+      StatusOr<int> target = ParseTargetField(event, fields[1]);
+      if (!target.ok()) {
+        return target.status();
       }
+      e.gpu = target.value();
+      e.kind = e.gpu < 0 ? FaultKind::kHostLinkDegrade : FaultKind::kGpuLinkDegrade;
     } else if (kind == "mem") {
       if (fields.size() != 3) {
-        return MalformedEvent(event, "expected mem@<t>:<scale>:<dur>");
+        return MalformedEvent(event, offset, "expected mem@<t>:<scale>:<dur>");
       }
-      StatusOr<double> scale = ParseDouble(event, fields[1], "scale");
+      StatusOr<double> scale = ParseScale(event, fields[1]);
       if (!scale.ok()) {
         return scale.status();
       }
-      StatusOr<double> duration = ParseDouble(event, fields[2], "duration");
+      StatusOr<double> duration = ParseDurationField(event, fields[2]);
       if (!duration.ok()) {
         return duration.status();
-      }
-      if (scale.value() <= 0.0 || scale.value() > 1.0) {
-        return MalformedEvent(event, "scale must be in (0, 1]");
-      }
-      if (duration.value() < 0.0) {
-        return MalformedEvent(event, "duration must be >= 0 (0 = permanent)");
       }
       e.kind = FaultKind::kHostMemPressure;
       e.scale = scale.value();
       e.duration = duration.value();
+    } else if (kind == "flow_flap") {
+      if (fields.size() != 2) {
+        return MalformedEvent(event, offset, "expected flow_flap@<t>:<gpu<i>|host>");
+      }
+      StatusOr<int> target = ParseTargetField(event, fields[1]);
+      if (!target.ok()) {
+        return target.status();
+      }
+      e.kind = FaultKind::kFlowFlap;
+      e.gpu = target.value();
+    } else if (kind == "brownout") {
+      if (fields.size() != 4) {
+        return MalformedEvent(event, offset,
+                              "expected brownout@<t>:<gpu<i>|host>:<scale>:<dur>");
+      }
+      StatusOr<double> scale = ParseScale(event, fields[2]);
+      if (!scale.ok()) {
+        return scale.status();
+      }
+      StatusOr<double> duration = ParseDurationField(event, fields[3]);
+      if (!duration.ok()) {
+        return duration.status();
+      }
+      StatusOr<int> target = ParseTargetField(event, fields[1]);
+      if (!target.ok()) {
+        return target.status();
+      }
+      e.kind = FaultKind::kLinkBrownout;
+      e.gpu = target.value();
+      e.scale = scale.value();
+      e.duration = duration.value();
+    } else if (kind == "gpu_slow") {
+      if (fields.size() != 4) {
+        return MalformedEvent(event, offset,
+                              "expected gpu_slow@<t>:gpu<i>:<scale>:<dur>");
+      }
+      StatusOr<int> gpu = ParseGpuField(event, fields[1]);
+      if (!gpu.ok()) {
+        return gpu.status();
+      }
+      StatusOr<double> scale = ParseScale(event, fields[2]);
+      if (!scale.ok()) {
+        return scale.status();
+      }
+      StatusOr<double> duration = ParseDurationField(event, fields[3]);
+      if (!duration.ok()) {
+        return duration.status();
+      }
+      e.kind = FaultKind::kGpuSlow;
+      e.gpu = gpu.value();
+      e.scale = scale.value();
+      e.duration = duration.value();
+    } else if (kind == "ckpt_corrupt") {
+      if (fields.size() != 1) {
+        return MalformedEvent(event, offset, "expected ckpt_corrupt@<t>");
+      }
+      e.kind = FaultKind::kCkptCorrupt;
     } else {
-      return MalformedEvent(event, "unknown fault kind '" + kind + "'");
+      return MalformedEvent(event, offset, "unknown fault kind '" + kind + "'");
     }
     plan.Add(e);
   }
@@ -263,6 +397,20 @@ FaultPlan MakeRandomFaultPlan(const RandomFaultOptions& options) {
   HCHECK_GT(options.num_gpus, 0);
   FaultPlan plan;
   Rng rng(options.seed);
+  const auto num_gpus = static_cast<std::uint64_t>(options.num_gpus);
+  // Generated values stay above the renderer's %.3f resolution so that rendered plans
+  // re-parse (a positive duration must never round down to the rejected "0.000").
+  const auto draw_scale = [&rng, &options] {
+    return std::max(0.001, rng.NextDouble(options.min_scale, 0.9));
+  };
+  const auto draw_duration = [&rng, &options] {
+    return std::max(0.001, -options.mean_duration * std::log(1.0 - rng.NextDouble()));
+  };
+  // "gpu<i>" for i < num_gpus, or "host" (encoded -1) with equal probability.
+  const auto draw_target = [&rng, num_gpus] {
+    const std::uint64_t t = rng.NextBounded(num_gpus + 1);
+    return t == num_gpus ? -1 : static_cast<int>(t);
+  };
   bool fail_stop_used = false;
   double t = 0.0;
   for (;;) {
@@ -279,17 +427,39 @@ FaultPlan MakeRandomFaultPlan(const RandomFaultOptions& options) {
     if (roll == 0 && options.allow_fail_stop && !fail_stop_used) {
       fail_stop_used = true;
       e.kind = FaultKind::kGpuFailStop;
-      e.gpu = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(options.num_gpus)));
+      e.gpu = static_cast<int>(rng.NextBounded(num_gpus));
     } else {
-      const std::uint64_t which = rng.NextBounded(3);
-      e.kind = which == 0   ? FaultKind::kGpuLinkDegrade
-               : which == 1 ? FaultKind::kHostLinkDegrade
-                            : FaultKind::kHostMemPressure;
-      if (e.kind == FaultKind::kGpuLinkDegrade) {
-        e.gpu = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(options.num_gpus)));
+      // Extended kinds widen the draw range only when enabled, so plans generated with
+      // them off are bitwise-identical to plans from before the kinds existed.
+      const std::uint64_t classes = 3u + (options.transient ? 3u : 0u) +
+                                    (options.ckpt_faults ? 1u : 0u);
+      const std::uint64_t which = rng.NextBounded(classes);
+      const std::uint64_t ckpt_index = options.ckpt_faults ? classes - 1 : classes;
+      if (which < 3) {
+        e.kind = which == 0   ? FaultKind::kGpuLinkDegrade
+                 : which == 1 ? FaultKind::kHostLinkDegrade
+                              : FaultKind::kHostMemPressure;
+        if (e.kind == FaultKind::kGpuLinkDegrade) {
+          e.gpu = static_cast<int>(rng.NextBounded(num_gpus));
+        }
+        e.scale = draw_scale();
+        e.duration = draw_duration();
+      } else if (which == ckpt_index) {
+        e.kind = FaultKind::kCkptCorrupt;
+      } else if (which == 3) {
+        e.kind = FaultKind::kFlowFlap;
+        e.gpu = draw_target();
+      } else if (which == 4) {
+        e.kind = FaultKind::kLinkBrownout;
+        e.gpu = draw_target();
+        e.scale = draw_scale();
+        e.duration = draw_duration();
+      } else {
+        e.kind = FaultKind::kGpuSlow;
+        e.gpu = static_cast<int>(rng.NextBounded(num_gpus));
+        e.scale = draw_scale();
+        e.duration = draw_duration();
       }
-      e.scale = rng.NextDouble(options.min_scale, 0.9);
-      e.duration = -options.mean_duration * std::log(1.0 - rng.NextDouble());
     }
     plan.Add(e);
   }

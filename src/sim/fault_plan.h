@@ -23,6 +23,11 @@ enum class FaultKind : int {
   kGpuLinkDegrade = 1,  // the GPU <-> switch links run at `scale` for `duration` seconds
   kHostLinkDegrade = 2, // every switch <-> host uplink runs at `scale` for `duration`
   kHostMemPressure = 3, // transient host-DRAM pressure: swap bandwidth scaled by `scale`
+  // Transient faults absorbed by the retry tier (DESIGN.md §11):
+  kFlowFlap = 4,        // instantly aborts in-flight flows on the target's links (retryable)
+  kLinkBrownout = 5,    // degrade to `scale` for `duration` AND flap in-flight flows at onset
+  kGpuSlow = 6,         // the GPU computes at `scale` of its rated flops for `duration`
+  kCkptCorrupt = 7,     // bit-rot on the newest host checkpoint generation
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -30,9 +35,9 @@ const char* FaultKindName(FaultKind kind);
 struct FaultEvent {
   SimTime time = 0.0;   // absolute time the fault strikes
   FaultKind kind = FaultKind::kGpuFailStop;
-  int gpu = -1;         // target GPU for kGpuFailStop / kGpuLinkDegrade, -1 otherwise
-  double scale = 1.0;   // bandwidth multiplier while degraded (in (0, 1])
-  double duration = 0.0;  // seconds the degradation lasts; 0 = permanent
+  int gpu = -1;         // target GPU for GPU-scoped kinds; -1 = host / untargeted
+  double scale = 1.0;   // bandwidth (or compute, for kGpuSlow) multiplier while degraded
+  double duration = 0.0;  // seconds the effect lasts; 0 = permanent (rendered "inf")
 
   // One-line rendering, e.g. "fail@1.500:gpu2" — stable across runs (trace identity).
   std::string ToString() const;
@@ -57,13 +62,19 @@ class FaultPlan {
 };
 
 // Parses a `--faults=` spec: semicolon-separated events, each of
-//   fail@<t>:gpu<i>                   device fail-stop at time t
-//   degrade@<t>:gpu<i>:<scale>:<dur>  GPU link degraded to scale for dur seconds (0 = forever)
-//   degrade@<t>:host:<scale>:<dur>    all host uplinks degraded (link flap when dur is short)
-//   mem@<t>:<scale>:<dur>             transient host-memory pressure (swap bandwidth scaled)
-//   rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>]
-//                                     seeded RNG-driven schedule over [0, horizon)
-// Returns an actionable error for malformed specs instead of crashing.
+//   fail@<t>:gpu<i>                     device fail-stop at time t
+//   degrade@<t>:gpu<i>:<scale>:<dur>    GPU link degraded to scale for dur seconds
+//   degrade@<t>:host:<scale>:<dur>      all host uplinks degraded
+//   mem@<t>:<scale>:<dur>               transient host-memory pressure (swap bw scaled)
+//   flow_flap@<t>:<gpu<i>|host>         abort in-flight flows on the target's links
+//   brownout@<t>:<gpu<i>|host>:<scale>:<dur>  degrade + flap in-flight flows at onset
+//   gpu_slow@<t>:gpu<i>:<scale>:<dur>   device computes at scale of rated flops
+//   ckpt_corrupt@<t>                    corrupt the newest host checkpoint generation
+//   rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>][,ext=<0|1>][,ckpt=<0|1>]
+//                                       seeded RNG-driven schedule over [0, horizon)
+// Durations must be > 0 or the literal "inf" (permanent); scales must be in (0, 1].
+// Malformed specs return an actionable error carrying the byte offset of the offending
+// field instead of crashing.
 StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec);
 
 struct RandomFaultOptions {
@@ -74,6 +85,10 @@ struct RandomFaultOptions {
   bool allow_fail_stop = true; // include permanent device fail-stops (at most one)
   double min_scale = 0.25;     // degradations draw scale from [min_scale, 0.9]
   double mean_duration = 1.0;  // mean degradation duration (exponential)
+  // Extended kinds are opt-in so the draw sequence (and hence every pre-existing
+  // seeded plan) is unchanged when they are off.
+  bool transient = false;      // include flow_flap / brownout / gpu_slow ("ext=1")
+  bool ckpt_faults = false;    // include ckpt_corrupt ("ckpt=1")
 };
 
 // Seeded fault schedule: exponential inter-arrival times at rate 1/mtbf, each event a

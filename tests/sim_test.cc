@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/core/session.h"
 #include "src/sim/fault_plan.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
+#include "tests/test_models.h"
 
 namespace harmony {
 namespace {
@@ -371,11 +376,22 @@ TEST(FaultPlanTest, AddKeepsEventsSortedWithStableTies) {
 
 TEST(FaultPlanTest, ParseRendersBackByteStable) {
   const StatusOr<FaultPlan> plan = ParseFaultSpec(
-      "fail@1.5:gpu2;degrade@0.25:gpu0:0.5:2;degrade@1:host:0.75:0;mem@2.5:0.5:1");
+      "fail@1.5:gpu2;degrade@0.25:gpu0:0.5:2;degrade@1:host:0.75:inf;mem@2.5:0.5:1");
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan.value().ToString(),
-            "degrade@0.250:gpu0:0.500:2.000;degrade@1.000:host:0.750:0.000;"
+            "degrade@0.250:gpu0:0.500:2.000;degrade@1.000:host:0.750:inf;"
             "fail@1.500:gpu2;mem@2.500:0.500:1.000");
+}
+
+TEST(FaultPlanTest, ExtendedKindsParseAndRenderByteStable) {
+  const StatusOr<FaultPlan> plan = ParseFaultSpec(
+      "flow_flap@0.5:gpu1;flow_flap@1:host;brownout@2:gpu0:0.25:3;"
+      "brownout@2.5:host:0.5:inf;gpu_slow@3:gpu2:0.5:4;ckpt_corrupt@5");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().ToString(),
+            "flow_flap@0.500:gpu1;flow_flap@1.000:host;brownout@2.000:gpu0:0.250:3.000;"
+            "brownout@2.500:host:0.500:inf;gpu_slow@3.000:gpu2:0.500:4.000;"
+            "ckpt_corrupt@5.000");
 }
 
 TEST(FaultPlanTest, EmptySpecAndEmptyEventsAreFine) {
@@ -401,6 +417,17 @@ TEST(FaultPlanTest, MalformedSpecsReturnActionableErrors) {
       "explode@1:gpu0",         // unknown kind
       "rand:seed=1,mtbf=0",     // non-positive mtbf
       "rand:nope=1",            // unknown rand option
+      "degrade@1:gpu0:0.5:0",   // zero duration (use 'inf' for permanent)
+      "degrade@1:gpu0:0.5:nan", // NaN duration
+      "mem@1:nan:1",            // NaN scale
+      "flow_flap@1",            // missing target
+      "flow_flap@1:cpu0",       // bad target
+      "brownout@1:gpu0:0.5",    // missing duration
+      "brownout@1:gpu0:0:1",    // scale zero
+      "gpu_slow@1:host:0.5:1",  // gpu_slow must target a GPU
+      "gpu_slow@1:gpu0:0.5:0",  // zero duration
+      "ckpt_corrupt@1:gpu0",    // takes no target
+      "rand:ext=2",             // ext must be 0|1
   };
   for (const char* spec : bad) {
     const StatusOr<FaultPlan> plan = ParseFaultSpec(spec);
@@ -408,6 +435,73 @@ TEST(FaultPlanTest, MalformedSpecsReturnActionableErrors) {
     EXPECT_NE(plan.status().message().find("malformed fault event"), std::string::npos)
         << spec;
   }
+}
+
+TEST(FaultPlanTest, ParseErrorsCarryByteOffsets) {
+  // The offset points into the original spec string, like util/json.cc errors.
+  const StatusOr<FaultPlan> plan = ParseFaultSpec("fail@1:gpu0;degrade@2:gpu0:0.5:0");
+  ASSERT_FALSE(plan.ok());
+  const std::string& message = plan.status().message();
+  EXPECT_NE(message.find("duration must be > 0 seconds or 'inf'"), std::string::npos)
+      << message;
+  // The bad duration field starts at byte 31 of the spec.
+  EXPECT_NE(message.find("(at byte 31;"), std::string::npos) << message;
+  EXPECT_NE(message.find("--faults grammar"), std::string::npos) << message;
+}
+
+TEST(FaultPlanTest, RoundTripFuzzOverExtendedGrammar) {
+  // parse(render(plan)) must render identically for random plans drawn over the full
+  // grammar, including the transient and checkpoint kinds.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    RandomFaultOptions options;
+    options.seed = seed;
+    options.mtbf = 0.4;
+    options.horizon = 12.0;
+    options.num_gpus = 1 + static_cast<int>(seed % 4);
+    options.transient = true;
+    options.ckpt_faults = seed % 2 == 0;
+    const FaultPlan plan = MakeRandomFaultPlan(options);
+    const std::string rendered = plan.ToString();
+    const StatusOr<FaultPlan> reparsed = ParseFaultSpec(rendered);
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": " << reparsed.status().ToString()
+                               << "\nrendered: " << rendered;
+    EXPECT_EQ(reparsed.value().ToString(), rendered) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlanTest, RandomPlanDrawSequenceUnchangedWhenExtensionsOff) {
+  // ext=0,ckpt=0 must reproduce the historical draw sequence bit-for-bit — seeds pinned
+  // by older tests and benches must keep generating the same plans.
+  RandomFaultOptions options;
+  options.seed = 9;
+  options.mtbf = 0.5;
+  options.horizon = 10.0;
+  const FaultPlan baseline = MakeRandomFaultPlan(options);
+  for (const FaultEvent& event : baseline.events()) {
+    EXPECT_TRUE(event.kind == FaultKind::kGpuFailStop ||
+                event.kind == FaultKind::kGpuLinkDegrade ||
+                event.kind == FaultKind::kHostLinkDegrade ||
+                event.kind == FaultKind::kHostMemPressure);
+  }
+}
+
+TEST(FaultPlanTest, RandomPlanWithExtensionsDrawsNewKinds) {
+  RandomFaultOptions options;
+  options.seed = 3;
+  options.mtbf = 0.2;
+  options.horizon = 50.0;
+  options.num_gpus = 4;
+  options.transient = true;
+  options.ckpt_faults = true;
+  const FaultPlan plan = MakeRandomFaultPlan(options);
+  int extended = 0;
+  for (const FaultEvent& event : plan.events()) {
+    if (event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout ||
+        event.kind == FaultKind::kGpuSlow || event.kind == FaultKind::kCkptCorrupt) {
+      ++extended;
+    }
+  }
+  EXPECT_GT(extended, 0);
 }
 
 TEST(FaultPlanTest, RandomPlanIsSeedDeterministic) {
@@ -452,6 +546,60 @@ TEST(FaultPlanTest, RandomPlanHonorsHorizonAndFailStopBudget) {
   for (const FaultEvent& event : no_fail.events()) {
     EXPECT_NE(event.kind, FaultKind::kGpuFailStop);
   }
+}
+
+// ---- Watchdog deadline arithmetic (absolute re-arm; DESIGN.md §11) ---------------------
+
+// Watchdog period k must land at exactly k * timeout: re-arming relative to the
+// callback's fire time accumulates FP round-off across periods, and the drifted
+// deadlines diverge between runs that replay different prefixes of the schedule.
+TEST(WatchdogDeadlineTest, StallTimeIsExactPeriodMultipleAcrossThreadCounts) {
+  const Model model = test_models::FaultModel();
+  SessionConfig clean = test_models::FaultConfig(2, 4);
+  const double makespan = RunTraining(model, clean).report.makespan;
+  ASSERT_GT(makespan, 0.0);
+
+  const double timeout = makespan / 16.0;
+  SessionConfig config = clean;
+  config.watchdog_timeout = timeout;
+  // A near-total host-link collapse late in the run: swaps crawl, no task completes,
+  // and the watchdog flags the stall at the next period boundary.
+  char spec[64];
+  std::snprintf(spec, sizeof(spec), "degrade@%.6f:host:0.001:inf", 0.82 * makespan);
+  const StatusOr<FaultPlan> faults = ParseFaultSpec(spec);
+  ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+  config.faults = faults.value();
+
+  double failure_time_at_one_thread = 0.0;
+  for (const int threads : {1, 2, 8}) {
+    config.sim_threads = threads;
+    const SessionResult result = RunTraining(model, config);
+    ASSERT_TRUE(result.report.failed) << "threads=" << threads;
+    EXPECT_EQ(result.report.failure_kind, "watchdog-stall") << "threads=" << threads;
+    const double periods = std::round(result.report.failure_time / timeout);
+    EXPECT_GE(periods, 1.0);
+    // Bitwise: the detection time IS an exact period multiple, not merely close to one.
+    EXPECT_EQ(result.report.failure_time, periods * timeout) << "threads=" << threads;
+    if (threads == 1) {
+      failure_time_at_one_thread = result.report.failure_time;
+    } else {
+      EXPECT_EQ(result.report.failure_time, failure_time_at_one_thread)
+          << "threads=" << threads;
+    }
+  }
+}
+
+// An armed-but-never-tripped watchdog must not perturb the measured run: the report's
+// makespan matches the watchdog-free run bit for bit.
+TEST(WatchdogDeadlineTest, HealthyRunIsByteIdenticalWithWatchdogArmed) {
+  const Model model = test_models::FaultModel();
+  SessionConfig config = test_models::FaultConfig(2, 4);
+  const RunReport plain = RunTraining(model, config).report;
+  config.watchdog_timeout = plain.makespan;  // generous: one period covers the whole run
+  const RunReport guarded = RunTraining(model, config).report;
+  EXPECT_FALSE(guarded.failed);
+  EXPECT_EQ(guarded.makespan, plain.makespan);
+  EXPECT_EQ(guarded.iterations.size(), plain.iterations.size());
 }
 
 TEST(FaultPlanTest, RandSpecMatchesDirectConstruction) {

@@ -47,6 +47,16 @@ expect_reject "expects true/false" --lint=sometimes
 expect_reject "expects an integer" --gpus=four
 expect_reject "expects an integer" --microbatches=2.5
 expect_reject "expects a finite number" --watchdog=soon
+expect_reject "expects an integer" --retry_max=lots
+expect_reject "expects a finite number" --retry_base=slow
+expect_reject "expects an integer" --ckpt_keep=all
+expect_reject "expects a finite number" --straggler_threshold=high
+
+# Fault-plan grammar violations (DESIGN.md §11): rejected at parse time with the byte
+# offset of the offending field, before any simulation starts.
+expect_reject "duration must be > 0 seconds or 'inf'" --faults='degrade@1:gpu0:0.5:0'
+expect_reject "at byte" --faults='fail@1:gpu0;degrade@2:gpu0:0.5:nan'
+expect_reject "must be 0, 1, true or false" --faults='rand:ext=2'
 
 # Unknown flags are rejected up front with the full usage text.
 err=$("$sim" --no_such_flag=1 2>&1 >/dev/null)

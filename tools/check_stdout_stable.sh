@@ -30,6 +30,7 @@ benches=(
   bench_fig5_swap_volume
   bench_ablation_opts
   bench_e2e_comparison
+  bench_chaos
 )
 
 workdir=$(mktemp -d)

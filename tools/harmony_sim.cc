@@ -93,15 +93,29 @@ int Run(int argc, char** argv) {
       .Define("json", "", "write the full structured run report (JSON) to this path")
       .Define("faults", "",
               "fault schedule: 'fail@<t>:gpu<i>', 'degrade@<t>:gpu<i>:<scale>:<dur>', "
-              "'degrade@<t>:host:<scale>:<dur>', 'mem@<t>:<scale>:<dur>', or "
-              "'rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>]', "
-              "semicolon-separated; empty = no faults")
+              "'degrade@<t>:host:<scale>:<dur>', 'mem@<t>:<scale>:<dur>', "
+              "'flow_flap@<t>:<gpu<i>|host>', 'brownout@<t>:<gpu<i>|host>:<scale>:<dur>', "
+              "'gpu_slow@<t>:gpu<i>:<scale>:<dur>', 'ckpt_corrupt@<t>', or "
+              "'rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>][,ext=<0|1>]"
+              "[,ckpt=<0|1>]', semicolon-separated; durations are > 0 seconds or 'inf'; "
+              "empty = no faults")
       .Define("checkpoint_every", "0",
               "host-checkpoint weights every k iterations (0 = never); the recovery path "
               "resumes from the last committed checkpoint after a GPU fail-stop")
       .Define("watchdog", "0",
               "flag the run as stalled after this many sim seconds without a task "
               "completion (0 = off)")
+      .Define("retry_max", "0",
+              "transfer retry budget: total issues allowed per flow before a transient "
+              "abort escalates (0 = retries off)")
+      .Define("retry_base", "0.001",
+              "base backoff delay in sim seconds for transfer retries (capped exponential, "
+              "cap = 64x base)")
+      .Define("ckpt_keep", "2",
+              "checkpoint generations retained in the integrity-verified ring buffer")
+      .Define("straggler_threshold", "0",
+              "EWMA service-time ratio above which a device is classified a straggler and "
+              "the segment degrades gracefully (0 = off; must be > 1 when set)")
       .Define("sim_threads", "0",
               "worker threads for the sharded simulator core (0 = HARMONY_SIM_THREADS env "
               "or 1); output is byte-identical at any value")
@@ -143,6 +157,11 @@ int Run(int argc, char** argv) {
       !AssignFlag(flags.GetCheckedInt("group_size"), &config.group_size) ||
       !AssignFlag(flags.GetCheckedInt("checkpoint_every"), &config.checkpoint_every) ||
       !AssignFlag(flags.GetCheckedDouble("watchdog"), &config.watchdog_timeout) ||
+      !AssignFlag(flags.GetCheckedInt("retry_max"), &config.retry_max) ||
+      !AssignFlag(flags.GetCheckedDouble("retry_base"), &config.retry_base) ||
+      !AssignFlag(flags.GetCheckedInt("ckpt_keep"), &config.ckpt_keep) ||
+      !AssignFlag(flags.GetCheckedDouble("straggler_threshold"),
+                  &config.straggler_threshold) ||
       !AssignFlag(flags.GetCheckedInt("sim_threads"), &config.sim_threads)) {
     return 2;
   }
@@ -251,6 +270,25 @@ int Run(int argc, char** argv) {
         elastic.stats.recovery_latency_sec, FormatBytes(elastic.stats.reswap_bytes).c_str(),
         elastic.checkpoints_committed, FormatBytes(elastic.checkpoint_bytes).c_str(),
         elastic.completed_iterations, config.iterations, elastic.total_makespan);
+    std::int64_t flows_retried = 0;
+    double retry_backoff_sec = 0.0;
+    for (const RecoverySegment& seg : elastic.segments) {
+      flows_retried += seg.result.report.flows_retried;
+      retry_backoff_sec += seg.result.report.retry_backoff_sec;
+    }
+    if (flows_retried > 0 || elastic.stats.degradations > 0 ||
+        elastic.stats.retry_exhaustions > 0 || elastic.stats.ckpt_verified > 0 ||
+        elastic.stats.ckpt_corrupt_detected > 0) {
+      // Only printed when the degraded-mode tier actually engaged, so pre-resilience
+      // fault-plan output stays byte-identical.
+      std::printf("resilience: %lld flow retr%s absorbed (%.3f s backoff), %d "
+                  "degradation(s), %d retry exhaustion(s), checkpoint verification %d ok "
+                  "/ %d corrupt\n",
+                  static_cast<long long>(flows_retried), flows_retried == 1 ? "y" : "ies",
+                  retry_backoff_sec, elastic.stats.degradations,
+                  elastic.stats.retry_exhaustions, elastic.stats.ckpt_verified,
+                  elastic.stats.ckpt_corrupt_detected);
+    }
     if (!elastic.status.ok()) {
       std::cerr << elastic.status.ToString() << "\n";
       return 1;

@@ -11,6 +11,10 @@
 #   - `ctest -L lint`   : the static plan linter (DESIGN.md §9), whose bitset
 #                         reachability and access-map passes index heavily into
 #                         per-task state — exactly where UBSan catches drift.
+#   - `ctest -L chaos`  : the degraded-mode resilience suite + chaos harness
+#                         (DESIGN.md §11) — retry re-issue on the simulator clock and
+#                         the elastic coordinator under seeded random fault plans at
+#                         several thread counts, the newest multi-threaded hot path.
 # Pass --full to run the entire ctest suite under each sanitizer instead (slower).
 #
 # Usage: tools/run_sanitizer_suite.sh [--full]
@@ -37,6 +41,7 @@ run_one() {
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -R tuner)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L lint)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L simcore)
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L chaos)
   fi
   echo "==== $sanitizer: clean ===="
 }
