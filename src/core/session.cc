@@ -51,6 +51,19 @@ MemoryPolicy DefaultPolicyFor(Scheme scheme, bool p2p) {
   return LmsPolicy();
 }
 
+Machine MakeSessionMachine(const SessionConfig& config) {
+  if (config.num_nodes <= 1) {
+    return MakeCommodityServer(config.server);
+  }
+  ClusterConfig cluster;
+  cluster.num_servers = config.num_nodes;
+  cluster.nodes_per_rack = config.nodes_per_rack;
+  cluster.server = config.server;
+  cluster.nic = config.nic_link;
+  cluster.rack = config.rack_link;
+  return MakeCluster(cluster);
+}
+
 Plan BuildPlanForConfig(const Model& model, const Machine& machine, TensorRegistry* registry,
                         const SessionConfig& config) {
   Plan plan;
@@ -110,11 +123,12 @@ Plan BuildPlanForConfig(const Model& model, const Machine& machine, TensorRegist
       break;
     }
   }
+  AnnotateClusterStructure(&plan, machine.topology);
   return plan;
 }
 
 std::vector<Bytes> ProbePeakWorkingSet(const Model& model, const SessionConfig& config) {
-  Machine machine = MakeCommodityServer(config.server);
+  Machine machine = MakeSessionMachine(config);
   TensorRegistry registry;
   const Plan plan = BuildPlanForConfig(model, machine, &registry, config);
   return plan.PeakTaskWorkingSet(registry);
@@ -132,14 +146,26 @@ Status ValidateSessionConfig(const Model& model, const SessionConfig& config) {
     return InvalidArgumentError("gpus_per_switch must be >= 1, got " +
                                 std::to_string(config.server.gpus_per_switch));
   }
+  if (config.num_nodes < 1) {
+    return InvalidArgumentError("nodes must be >= 1, got " +
+                                std::to_string(config.num_nodes));
+  }
+  if (config.nodes_per_rack < 0) {
+    return InvalidArgumentError("nodes_per_rack must be >= 0 (0 = one rack), got " +
+                                std::to_string(config.nodes_per_rack));
+  }
+  if (config.num_nodes > 1 && (!(config.nic_link.bandwidth_bytes_per_sec > 0.0) ||
+                               !(config.rack_link.bandwidth_bytes_per_sec > 0.0))) {
+    return InvalidArgumentError("nic/rack link bandwidth must be positive");
+  }
   const bool data_parallel =
       config.scheme == Scheme::kBaselineDp || config.scheme == Scheme::kHarmonyDp;
   DecomposerOptions decomposer;
-  decomposer.num_replicas = data_parallel ? config.server.num_gpus : 1;
+  decomposer.num_replicas = data_parallel ? config.total_gpus() : 1;
   decomposer.microbatches = config.microbatches;
   decomposer.microbatch_size = config.microbatch_size;
   decomposer.iterations = config.iterations;
-  HARMONY_RETURN_IF_ERROR(ValidateDecomposerOptions(config.server.num_gpus, decomposer));
+  HARMONY_RETURN_IF_ERROR(ValidateDecomposerOptions(config.total_gpus(), decomposer));
   if (config.pack_size < 1) {
     return InvalidArgumentError("pack_size must be >= 1, got " +
                                 std::to_string(config.pack_size));
@@ -175,16 +201,33 @@ Status ValidateSessionConfig(const Model& model, const SessionConfig& config) {
     return InvalidArgumentError(
         "straggler_threshold must be 0 (off) or > 1 (a healthy device sits at exactly 1.0)");
   }
+  // Each node has one NIC; rack count follows the nodes_per_rack grouping (0 = one rack).
+  const int num_nics = config.num_nodes > 1 ? config.num_nodes : 0;
+  const int nodes_per_rack =
+      config.nodes_per_rack == 0 ? config.num_nodes : config.nodes_per_rack;
+  const int num_racks =
+      config.num_nodes > 1 ? (config.num_nodes + nodes_per_rack - 1) / nodes_per_rack : 0;
   for (const FaultEvent& event : config.faults.events()) {
     const bool targets_gpu =
         event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade ||
         event.kind == FaultKind::kGpuSlow ||
         ((event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
-         event.gpu >= 0);
-    if (targets_gpu && event.gpu >= config.server.num_gpus) {
+         event.gpu >= 0 && event.nic < 0 && event.rack < 0);
+    if (targets_gpu && event.gpu >= config.total_gpus()) {
       return InvalidArgumentError("fault event '" + event.ToString() + "' targets gpu" +
                                   std::to_string(event.gpu) + " but the machine has only " +
-                                  std::to_string(config.server.num_gpus) + " GPUs");
+                                  std::to_string(config.total_gpus()) + " GPUs");
+    }
+    if (event.nic >= num_nics) {
+      return InvalidArgumentError("fault event '" + event.ToString() + "' targets nic" +
+                                  std::to_string(event.nic) + " but the machine has " +
+                                  std::to_string(num_nics) + " NICs (one per node; nodes=" +
+                                  std::to_string(config.num_nodes) + ")");
+    }
+    if (event.rack >= num_racks) {
+      return InvalidArgumentError("fault event '" + event.ToString() + "' targets rack" +
+                                  std::to_string(event.rack) + " but the machine has " +
+                                  std::to_string(num_racks) + " racks");
     }
   }
   // Shape is sane; now probe the decomposition for per-task memory fit.
@@ -202,7 +245,7 @@ Status ValidateSessionConfig(const Model& model, const SessionConfig& config) {
 }
 
 SessionResult RunTraining(const Model& model, const SessionConfig& config) {
-  Machine machine = MakeCommodityServer(config.server);
+  Machine machine = MakeSessionMachine(config);
   Simulator sim;
   TransferManager transfers(&sim, &machine.topology);
   TensorRegistry registry;

@@ -34,6 +34,16 @@ struct SessionConfig {
   ServerConfig server;
   Scheme scheme = Scheme::kHarmonyPp;
 
+  // Multi-node scale-out (DESIGN.md §12). num_nodes = 1 keeps the exact single-server
+  // machine (and event sequence) of pre-cluster builds; > 1 replicates `server` per node
+  // behind a NIC + top-of-rack fabric. GPUs are indexed globally, node-major.
+  int num_nodes = 1;
+  int nodes_per_rack = 0;              // 0 = one rack holds every node
+  LinkSpec nic_link = Ethernet25G();   // host <-> NIC <-> ToR
+  LinkSpec rack_link = Ethernet100G(); // ToR <-> spine (only built with > 1 rack)
+
+  int total_gpus() const { return num_nodes * server.num_gpus; }
+
   // Workload shape: `microbatches` is per GPU for DP schemes and the whole minibatch for PP
   // schemes (matching the paper's "m microbatches per GPU, minibatch of mN microbatches").
   int microbatches = 1;
@@ -122,6 +132,11 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config);
 
 // Convenience: the memory policy a scheme runs under by default.
 MemoryPolicy DefaultPolicyFor(Scheme scheme, bool p2p);
+
+// The simulated machine `config` describes: the single commodity server when num_nodes <= 1
+// (byte-identical to pre-cluster builds), otherwise a cluster of `num_nodes` copies of
+// `config.server` behind the NIC / rack fabric.
+Machine MakeSessionMachine(const SessionConfig& config);
 
 // Builds just the plan for `config` (no execution) against `registry`; exposed for tests and
 // for the tuner's feasibility probing.

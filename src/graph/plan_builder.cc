@@ -358,4 +358,20 @@ Plan PlanBuilder::Finish(std::string scheme) {
   return std::move(plan_);
 }
 
+void AnnotateClusterStructure(Plan* plan, const Topology& topology) {
+  if (topology.num_servers() <= 1) {
+    return;  // single-node plans carry no annotation (byte-identical legacy shape)
+  }
+  plan->device_node.clear();
+  plan->device_node.reserve(static_cast<std::size_t>(plan->num_devices()));
+  for (int d = 0; d < plan->num_devices(); ++d) {
+    plan->device_node.push_back(topology.ServerOfGpu(d));
+  }
+  for (Task& task : plan->tasks) {
+    if (task.kind == TaskKind::kAllReduce) {
+      task.collective_node = plan->device_node[static_cast<std::size_t>(task.device)];
+    }
+  }
+}
+
 }  // namespace harmony

@@ -26,6 +26,7 @@
 
 #include "src/graph/model.h"
 #include "src/graph/task.h"
+#include "src/hw/topology.h"
 #include "src/mem/tensor.h"
 #include "src/util/status.h"
 
@@ -53,6 +54,14 @@ struct DecomposerOptions {
 // style); front ends route configuration through this first so a bad flag value surfaces
 // as a Status, not a crash.
 Status ValidateDecomposerOptions(int num_devices, const DecomposerOptions& options);
+
+// Stamps the plan's two-level (node) group structure from the machine topology: fills
+// Plan::device_node with each device's server index and Task::collective_node on every
+// collective participant. No-op on single-server topologies, so single-node plans stay
+// byte-identical to pre-cluster builds. Called by BuildPlanForConfig after the scheduler
+// emits the plan; the hierarchical CollectiveEngine path and plan_lint's hierarchical
+// checks both key on the annotation.
+void AnnotateClusterStructure(Plan* plan, const Topology& topology);
 
 class PlanBuilder {
  public:

@@ -60,6 +60,10 @@ struct Task {
   int collective_group = -1;
   Bytes collective_bytes = 0;
   CollectiveData collective_data = CollectiveData::kWeightGrad;
+  // Server (node) this collective participant lives on in a multi-node plan; -1 in
+  // single-node plans. Stamped by AnnotateClusterStructure; must agree with
+  // Plan::device_node[device] (the hierarchical lint's crossed-rendezvous check).
+  int collective_node = -1;
 
   std::string DebugName() const;
 };
@@ -72,6 +76,10 @@ struct Plan {
   int microbatch_size = 1;
   // Samples consumed per iteration (for throughput reporting).
   int samples_per_iteration = 0;
+  // Two-level group structure for multi-node plans: device_node[d] = dense server index of
+  // device d (Topology::ServerOfGpu). Empty for single-node plans, keeping them
+  // byte-identical to pre-cluster builds. Stamped by AnnotateClusterStructure.
+  std::vector<int> device_node;
 
   int num_devices() const { return static_cast<int>(per_device_order.size()); }
 

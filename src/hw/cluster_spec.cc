@@ -1,0 +1,173 @@
+#include "src/hw/cluster_spec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace harmony {
+namespace {
+
+// Shortest stable rendering for link speeds ("25", "12.5", "0.4").
+std::string FormatG(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+struct Field {
+  std::string text;
+  std::size_t offset = 0;  // absolute byte offset in the spec string
+};
+
+Status MalformedSpec(std::size_t offset, const std::string& why) {
+  return InvalidArgumentError("malformed cluster spec: " + why + " (at byte " +
+                              std::to_string(offset) +
+                              "; see --help for the --cluster grammar)");
+}
+
+std::vector<Field> Split(const std::string& s, char sep) {
+  std::vector<Field> out;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(Field{s.substr(start), start});
+      return out;
+    }
+    out.push_back(Field{s.substr(start, pos - start), start});
+    start = pos + 1;
+  }
+}
+
+StatusOr<int> ParseCount(const Field& field, const std::string& key, int min_value) {
+  char* end = nullptr;
+  const long value = std::strtol(field.text.c_str(), &end, 10);
+  if (field.text.empty() || end != field.text.c_str() + field.text.size() ||
+      value < min_value || value > 1 << 20) {
+    return MalformedSpec(field.offset, key + " must be an integer >= " +
+                                           std::to_string(min_value) + ", got '" +
+                                           field.text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+StatusOr<double> ParseGbps(const Field& field, const std::string& key) {
+  char* end = nullptr;
+  const double value = std::strtod(field.text.c_str(), &end);
+  if (field.text.empty() || end != field.text.c_str() + field.text.size() ||
+      !std::isfinite(value) || value <= 0.0) {
+    return MalformedSpec(field.offset, key + " must be a positive number of Gbit/s, got '" +
+                                           field.text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<ClusterSpec> ParseClusterSpec(const std::string& spec) {
+  ClusterSpec out;
+  bool seen[5] = {false, false, false, false, false};
+  for (const Field& kv : Split(spec, ',')) {
+    if (kv.text.empty()) {
+      continue;
+    }
+    const auto eq = kv.text.find('=');
+    if (eq == std::string::npos) {
+      return MalformedSpec(kv.offset, "expected key=value, got '" + kv.text + "'");
+    }
+    const std::string key = kv.text.substr(0, eq);
+    const Field value{kv.text.substr(eq + 1), kv.offset + eq + 1};
+    int slot;
+    if (key == "nodes") {
+      slot = 0;
+    } else if (key == "gpus_per_node") {
+      slot = 1;
+    } else if (key == "nodes_per_rack") {
+      slot = 2;
+    } else if (key == "nic_gbps") {
+      slot = 3;
+    } else if (key == "rack_gbps") {
+      slot = 4;
+    } else {
+      return MalformedSpec(kv.offset, "unknown cluster option '" + key + "'");
+    }
+    if (seen[slot]) {
+      return MalformedSpec(kv.offset, "duplicate cluster option '" + key + "'");
+    }
+    seen[slot] = true;
+    switch (slot) {
+      case 0: {
+        StatusOr<int> v = ParseCount(value, key, 1);
+        if (!v.ok()) {
+          return v.status();
+        }
+        out.nodes = v.value();
+        break;
+      }
+      case 1: {
+        StatusOr<int> v = ParseCount(value, key, 1);
+        if (!v.ok()) {
+          return v.status();
+        }
+        out.gpus_per_node = v.value();
+        break;
+      }
+      case 2: {
+        StatusOr<int> v = ParseCount(value, key, 0);
+        if (!v.ok()) {
+          return v.status();
+        }
+        out.nodes_per_rack = v.value();
+        break;
+      }
+      case 3: {
+        StatusOr<double> v = ParseGbps(value, key);
+        if (!v.ok()) {
+          return v.status();
+        }
+        out.nic_gbps = v.value();
+        break;
+      }
+      default: {
+        StatusOr<double> v = ParseGbps(value, key);
+        if (!v.ok()) {
+          return v.status();
+        }
+        out.rack_gbps = v.value();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderClusterSpec(const ClusterSpec& spec) {
+  std::string out = "nodes=" + std::to_string(spec.nodes);
+  out += ",gpus_per_node=" + std::to_string(spec.gpus_per_node);
+  out += ",nodes_per_rack=" + std::to_string(spec.nodes_per_rack);
+  out += ",nic_gbps=" + FormatG(spec.nic_gbps);
+  out += ",rack_gbps=" + FormatG(spec.rack_gbps);
+  return out;
+}
+
+LinkSpec NicLinkSpec(double gbps) {
+  return LinkSpec{FormatG(gbps) + "GbE", gbps * 1e9 / 8.0, 20e-6};
+}
+
+LinkSpec RackLinkSpec(double gbps) {
+  return LinkSpec{FormatG(gbps) + "GbE", gbps * 1e9 / 8.0, 25e-6};
+}
+
+ClusterConfig ToClusterConfig(const ClusterSpec& spec, ServerConfig server) {
+  server.num_gpus = spec.gpus_per_node;
+  ClusterConfig config;
+  config.num_servers = spec.nodes;
+  config.nodes_per_rack = spec.nodes_per_rack;
+  config.server = server;
+  config.nic = NicLinkSpec(spec.nic_gbps);
+  config.rack = RackLinkSpec(spec.rack_gbps);
+  return config;
+}
+
+}  // namespace harmony

@@ -31,11 +31,23 @@ void FaultInjector::Arm(const FaultPlan& plan) {
 
 std::vector<LinkId> FaultInjector::TargetLinks(const FaultEvent& event) const {
   std::vector<LinkId> links;
-  const bool gpu_scoped =
-      event.kind == FaultKind::kGpuLinkDegrade ||
-      ((event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
-       event.gpu >= 0);
-  if (gpu_scoped) {
+  const bool network_capable =
+      event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout;
+  const bool gpu_scoped = event.kind == FaultKind::kGpuLinkDegrade ||
+                          (network_capable && event.gpu >= 0 && event.nic < 0 &&
+                           event.rack < 0);
+  if (network_capable && (event.nic >= 0 || event.rack >= 0)) {
+    // Node-scoped network target: every link incident to node i's NIC (nic<i>) or rack i's
+    // top-of-rack switch (rack<i>) — the inter-node tier the event flaps or browns out.
+    const NodeId center = event.nic >= 0 ? topology_->nic_node(event.nic)
+                                         : topology_->tor_node(event.rack);
+    for (LinkId lid = 0; lid < topology_->num_links(); ++lid) {
+      const TopologyLink& link = topology_->link(lid);
+      if (link.src == center || link.dst == center) {
+        links.push_back(lid);
+      }
+    }
+  } else if (gpu_scoped) {
     const NodeId gpu = topology_->gpu_node(event.gpu);
     for (LinkId lid = 0; lid < topology_->num_links(); ++lid) {
       const TopologyLink& link = topology_->link(lid);
@@ -59,11 +71,26 @@ std::vector<LinkId> FaultInjector::TargetLinks(const FaultEvent& event) const {
 }
 
 void FaultInjector::ApplyEvent(const FaultEvent& event) {
+  const bool network_scoped =
+      (event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
+      (event.nic >= 0 || event.rack >= 0);
+  if (network_scoped) {
+    if (event.nic >= topology_->num_nics()) {
+      Trace("drop@" + FormatFixed(sim_->now()) + " " + event.ToString() +
+            " (no such NIC on this machine)");
+      return;
+    }
+    if (event.rack >= topology_->num_racks()) {
+      Trace("drop@" + FormatFixed(sim_->now()) + " " + event.ToString() +
+            " (no such rack on this machine)");
+      return;
+    }
+  }
   const bool targets_gpu =
       event.kind == FaultKind::kGpuFailStop || event.kind == FaultKind::kGpuLinkDegrade ||
       event.kind == FaultKind::kGpuSlow ||
       ((event.kind == FaultKind::kFlowFlap || event.kind == FaultKind::kLinkBrownout) &&
-       event.gpu >= 0);
+       !network_scoped && event.gpu >= 0);
   if (targets_gpu && (event.gpu < 0 || event.gpu >= topology_->num_gpus())) {
     Trace("drop@" + FormatFixed(sim_->now()) + " " + event.ToString() +
           " (no such GPU on this machine)");

@@ -61,9 +61,15 @@ inline LinkSpec NvLink2() {
   return LinkSpec{"NVLink2", GBps(25.0), 2e-6};
 }
 
-// Ethernet-class link for future multi-server topologies (Sec. 4 of the paper).
+// Ethernet-class link for multi-server topologies (Sec. 4 of the paper): the per-node NIC
+// tier (host <-> NIC <-> top-of-rack switch).
 inline LinkSpec Ethernet25G() {
   return LinkSpec{"25GbE", GBps(3.1), 20e-6};
+}
+
+// Datacenter aggregation link: the rack tier (top-of-rack switch <-> spine).
+inline LinkSpec Ethernet100G() {
+  return LinkSpec{"100GbE", GBps(12.5), 25e-6};
 }
 
 }  // namespace harmony

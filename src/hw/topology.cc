@@ -8,6 +8,18 @@
 
 namespace harmony {
 
+const char* LinkTierName(LinkTier tier) {
+  switch (tier) {
+    case LinkTier::kPcie:
+      return "pcie";
+    case LinkTier::kNic:
+      return "nic";
+    case LinkTier::kRack:
+      return "rack";
+  }
+  return "unknown";
+}
+
 NodeId Topology::AddNode(NodeKind kind, std::string name) {
   HCHECK(!finalized_);
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -20,13 +32,17 @@ NodeId Topology::AddNode(NodeKind kind, std::string name) {
   } else if (kind == NodeKind::kGpu) {
     node.gpu_index = static_cast<int>(gpu_nodes_.size());
     gpu_nodes_.push_back(id);
+  } else if (kind == NodeKind::kNic) {
+    nic_nodes_.push_back(id);
+  } else if (kind == NodeKind::kTor) {
+    tor_nodes_.push_back(id);
   }
   nodes_.push_back(std::move(node));
   out_links_.emplace_back();
   return id;
 }
 
-void Topology::AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec) {
+void Topology::AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec, LinkTier tier) {
   HCHECK(!finalized_);
   HCHECK_NE(a, b);
   HCHECK_GE(a, 0);
@@ -34,10 +50,10 @@ void Topology::AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec) {
   HCHECK_LT(a, num_nodes());
   HCHECK_LT(b, num_nodes());
   const LinkId forward = static_cast<LinkId>(links_.size());
-  links_.push_back(TopologyLink{a, b, spec});
+  links_.push_back(TopologyLink{a, b, spec, tier});
   out_links_[static_cast<std::size_t>(a)].push_back(forward);
   const LinkId backward = static_cast<LinkId>(links_.size());
-  links_.push_back(TopologyLink{b, a, spec});
+  links_.push_back(TopologyLink{b, a, spec, tier});
   out_links_[static_cast<std::size_t>(b)].push_back(backward);
 }
 
@@ -96,19 +112,26 @@ void Topology::Finalize() {
   }
   finalized_ = true;
 
-  // Each GPU swaps to its nearest host (fewest hops; ties to the lowest host id).
+  // Each GPU swaps to its nearest host (fewest hops; ties to the lowest host id). The dense
+  // index of that host within host_nodes_ is the GPU's server — the node grouping the
+  // hierarchical collective and the plan's two-level group structure use.
   gpu_swap_host_.clear();
+  gpu_server_.clear();
   for (NodeId gpu : gpu_nodes_) {
     NodeId best = host_nodes_.front();
+    int best_server = 0;
     std::size_t best_hops = Route(gpu, best).size();
-    for (NodeId host : host_nodes_) {
+    for (int h = 0; h < static_cast<int>(host_nodes_.size()); ++h) {
+      const NodeId host = host_nodes_[static_cast<std::size_t>(h)];
       const std::size_t hops = Route(gpu, host).size();
       if (hops < best_hops) {
         best = host;
+        best_server = h;
         best_hops = hops;
       }
     }
     gpu_swap_host_.push_back(best);
+    gpu_server_.push_back(best_server);
   }
 }
 
@@ -208,16 +231,36 @@ Machine MakeCommodityServer(const ServerConfig& config) {
 
 Topology MakeClusterTopology(const ClusterConfig& config) {
   HCHECK_GT(config.num_servers, 0);
+  HCHECK_GE(config.nodes_per_rack, 0);
   const ServerConfig& server = config.server;
   HCHECK_GT(server.num_gpus, 0);
   HCHECK_GT(server.gpus_per_switch, 0);
 
+  const int nodes_per_rack =
+      config.nodes_per_rack == 0 ? config.num_servers : config.nodes_per_rack;
+  const int num_racks = (config.num_servers + nodes_per_rack - 1) / nodes_per_rack;
+
   Topology topo;
-  const NodeId fabric = topo.AddNode(NodeKind::kSwitch, "fabric");
+  std::vector<NodeId> tors;
+  tors.reserve(static_cast<std::size_t>(num_racks));
+  for (int r = 0; r < num_racks; ++r) {
+    tors.push_back(topo.AddNode(NodeKind::kTor, "rack" + std::to_string(r)));
+  }
+  // A single rack needs no aggregation tier; with several, the ToRs meet at a spine over the
+  // (faster but shared) rack links.
+  if (num_racks > 1) {
+    const NodeId spine = topo.AddNode(NodeKind::kSwitch, "spine");
+    for (NodeId tor : tors) {
+      topo.AddDuplexLink(tor, spine, config.rack, LinkTier::kRack);
+    }
+  }
   for (int s = 0; s < config.num_servers; ++s) {
-    const std::string prefix = "s" + std::to_string(s) + ".";
+    const std::string prefix = "n" + std::to_string(s) + ".";
     const NodeId host = topo.AddNode(NodeKind::kHost, prefix + "host");
-    topo.AddDuplexLink(host, fabric, config.network);
+    const NodeId nic = topo.AddNode(NodeKind::kNic, prefix + "nic");
+    topo.AddDuplexLink(host, nic, config.nic, LinkTier::kNic);
+    topo.AddDuplexLink(nic, tors[static_cast<std::size_t>(s / nodes_per_rack)], config.nic,
+                       LinkTier::kNic);
     const int num_switches =
         (server.num_gpus + server.gpus_per_switch - 1) / server.gpus_per_switch;
     std::vector<NodeId> switches;

@@ -25,7 +25,21 @@ enum class NodeKind {
   kHost,    // CPU + host DRAM (swap target)
   kSwitch,  // PCIe switch (no memory, just forwarding)
   kGpu,
+  kNic,     // per-node network interface (host uplink onto the fabric)
+  kTor,     // top-of-rack / spine switch (network tier forwarding)
 };
+
+// Which contention tier a link belongs to. The TransferManager applies the same fair-share
+// flow model to every tier; the tier only labels the link for per-tier byte attribution
+// (RunReport::tiers) and for the cluster conservation tests.
+enum class LinkTier : int {
+  kPcie = 0,  // intra-server: GPU <-> switch <-> host
+  kNic = 1,   // host <-> NIC and NIC <-> top-of-rack
+  kRack = 2,  // top-of-rack <-> spine
+};
+inline constexpr int kNumLinkTiers = 3;
+
+const char* LinkTierName(LinkTier tier);
 
 struct TopologyNode {
   NodeKind kind;
@@ -38,6 +52,7 @@ struct TopologyLink {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   LinkSpec spec;
+  LinkTier tier = LinkTier::kPcie;
 };
 
 class Topology {
@@ -46,7 +61,8 @@ class Topology {
 
   NodeId AddNode(NodeKind kind, std::string name);
   // Adds a full-duplex link (two directed links) between a and b.
-  void AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec);
+  void AddDuplexLink(NodeId a, NodeId b, const LinkSpec& spec,
+                     LinkTier tier = LinkTier::kPcie);
 
   // Must be called once all nodes/links are added; computes BFS routes between every node
   // pair (fewest hops; ties broken by smaller next-hop link id, deterministically).
@@ -72,6 +88,27 @@ class Topology {
     return gpu_swap_host_.at(static_cast<std::size_t>(gpu_index));
   }
 
+  // Server (compute-node) structure, filled by Finalize. A "server" is one host node plus
+  // everything that swaps to it; single-server topologies report one server holding every
+  // GPU. ServerOfGpu is the dense index of the GPU's swap host — the node index the
+  // hierarchical collective and the plan's two-level group structure use.
+  int num_servers() const { return num_hosts(); }
+  int ServerOfGpu(int gpu_index) const {
+    return gpu_server_.at(static_cast<std::size_t>(gpu_index));
+  }
+
+  // Network-tier entities for fault targeting (`nic0`, `rack0` in the fault grammar):
+  // per-server NIC nodes and top-of-rack switch nodes, in creation order. Both empty on
+  // single-server topologies.
+  int num_nics() const { return static_cast<int>(nic_nodes_.size()); }
+  NodeId nic_node(int nic_index) const {
+    return nic_nodes_.at(static_cast<std::size_t>(nic_index));
+  }
+  int num_racks() const { return static_cast<int>(tor_nodes_.size()); }
+  NodeId tor_node(int rack_index) const {
+    return tor_nodes_.at(static_cast<std::size_t>(rack_index));
+  }
+
   // Ordered link ids along the route src -> dst. Empty when src == dst. Fatal if unreachable.
   const std::vector<LinkId>& Route(NodeId src, NodeId dst) const;
 
@@ -94,7 +131,10 @@ class Topology {
   NodeId host_node_ = kInvalidNode;
   std::vector<NodeId> host_nodes_;
   std::vector<NodeId> gpu_nodes_;
+  std::vector<NodeId> nic_nodes_;
+  std::vector<NodeId> tor_nodes_;
   std::vector<NodeId> gpu_swap_host_;  // per GPU, filled by Finalize
+  std::vector<int> gpu_server_;        // per GPU: index of its swap host in host_nodes_
   bool finalized_ = false;
   // routes_[src * num_nodes + dst]
   std::vector<std::vector<LinkId>> routes_;
@@ -126,14 +166,17 @@ struct Machine {
 
 Machine MakeCommodityServer(const ServerConfig& config);
 
-// Multi-server cluster (Sec. 4 of the paper): `num_servers` commodity servers whose host
-// root complexes attach to a shared datacenter fabric node over `network` links. GPUs are
-// indexed globally (server-major); each GPU swaps to its own server's host memory, and
-// cross-server tensor traffic crosses the (much slower) network tier.
+// Multi-server cluster (Sec. 4 of the paper): `num_servers` commodity servers ("nodes"),
+// each with its own NIC behind the host root complex, attached to a top-of-rack switch; with
+// more than one rack the ToRs connect through a spine over `rack` links. GPUs are indexed
+// globally (node-major); each GPU swaps to its own node's host memory, and cross-node tensor
+// traffic crosses the (much slower) NIC and rack tiers.
 struct ClusterConfig {
   int num_servers = 2;
-  ServerConfig server;        // per-server shape
-  LinkSpec network = Ethernet25G();
+  int nodes_per_rack = 0;  // 0 = one rack holds every node
+  ServerConfig server;     // per-node shape
+  LinkSpec nic = Ethernet25G();    // host <-> NIC <-> ToR (tier kNic)
+  LinkSpec rack = Ethernet100G();  // ToR <-> spine (tier kRack)
 };
 
 Topology MakeClusterTopology(const ClusterConfig& config);

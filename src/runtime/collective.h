@@ -1,15 +1,24 @@
-// Ring all-reduce on simulated links.
+// Ring / hierarchical all-reduce on simulated links.
 //
 // Gradient reduction for data-parallel training. Participants rendezvous per group; once the
 // last member arrives, the engine runs the standard ring algorithm: 2*(n-1) rounds in which
 // every device simultaneously sends a 1/n chunk to its ring successor. Chunk transfers are
 // real flows through the TransferManager, so all-reduce traffic contends with swap traffic
 // on shared PCIe links exactly as NCCL does on the paper's testbed.
+//
+// When the replica set spans servers (DESIGN.md §12) and every server contributes the same
+// member count, the engine switches to the hierarchical algorithm automatically:
+//   1. intra-node ring reduce-scatter (k-1 rounds over the p2p/PCIe tier),
+//   2. inter-node recursive-halving reduce-scatter + recursive-doubling all-gather across
+//      node representatives (one tree per shard owner, crossing the NIC/rack tiers), and
+//   3. intra-node ring all-gather (k-1 rounds).
+// Uneven node membership falls back to the flat ring, byte-identical to the legacy path.
 #ifndef HARMONY_SRC_RUNTIME_COLLECTIVE_H_
 #define HARMONY_SRC_RUNTIME_COLLECTIVE_H_
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/hw/transfer_manager.h"
@@ -28,6 +37,11 @@ class CollectiveEngine {
               std::function<void()> on_done);
 
   Bytes total_bytes_moved() const { return total_bytes_moved_; }
+  // Byte split of the hierarchical path: hops whose endpoints share a server vs. hops that
+  // cross the NIC/rack fabric. Both zero when every group ran the flat ring.
+  Bytes intra_node_bytes_moved() const { return intra_node_bytes_moved_; }
+  Bytes inter_node_bytes_moved() const { return inter_node_bytes_moved_; }
+  int hierarchical_groups_run() const { return hierarchical_groups_run_; }
 
  private:
   struct Group {
@@ -36,13 +50,32 @@ class CollectiveEngine {
     std::vector<int> devices;
     std::vector<std::function<void()>> callbacks;
   };
+  // One scripted transfer: devices are global GPU indices.
+  struct Hop {
+    int src_device = -1;
+    int dst_device = -1;
+    Bytes bytes = 0;
+  };
+  // A fully pre-planned collective: rounds run in order with a global barrier between them;
+  // all hops within a round fly concurrently.
+  struct Script {
+    std::vector<std::vector<Hop>> rounds;
+    std::vector<std::function<void()>> callbacks;
+  };
 
   void RunRound(Group group_state, int round);
+  // Builds and launches the two-level script when the group spans servers with equal
+  // membership; returns false (leaving `group_state` intact) when not eligible.
+  bool TryRunHierarchical(Group& group_state);
+  void RunScriptedRound(std::shared_ptr<Script> script, std::size_t round);
 
   Simulator* sim_;
   TransferManager* transfers_;
   std::map<int, Group> groups_;
   Bytes total_bytes_moved_ = 0;
+  Bytes intra_node_bytes_moved_ = 0;
+  Bytes inter_node_bytes_moved_ = 0;
+  int hierarchical_groups_run_ = 0;
 };
 
 }  // namespace harmony

@@ -190,6 +190,33 @@ RunReport Engine::Run() {
     }
     report.links.push_back(std::move(usage));
   }
+  // Per-tier aggregation, only for machines that actually have a network tier: single-server
+  // topologies (every link kPcie) report no tiers, keeping legacy output byte-identical.
+  bool has_network_tier = false;
+  for (LinkId l = 0; l < topo.num_links(); ++l) {
+    if (topo.link(l).tier != LinkTier::kPcie) {
+      has_network_tier = true;
+      break;
+    }
+  }
+  if (has_network_tier) {
+    report.tiers.resize(static_cast<std::size_t>(kNumLinkTiers));
+    for (int t = 0; t < kNumLinkTiers; ++t) {
+      report.tiers[static_cast<std::size_t>(t)].name =
+          LinkTierName(static_cast<LinkTier>(t));
+    }
+    for (LinkId l = 0; l < topo.num_links(); ++l) {
+      const LinkStats& stats = transfers_->link_stats(l);
+      RunReport::TierUsage& tier =
+          report.tiers[static_cast<std::size_t>(topo.link(l).tier)];
+      tier.bytes += stats.bytes_carried;
+      tier.busy_time += stats.busy_time;
+      tier.flows += stats.flows;
+      for (int k = 0; k < kNumTransferKinds; ++k) {
+        tier.bytes_by_kind[k] += stats.bytes_by_kind[k];
+      }
+    }
+  }
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     const NodeIoStats& io = transfers_->node_io(n);
     RunReport::NodeIo node;

@@ -161,6 +161,7 @@ AttributionReport Attribute(const RunReport& report, int top_tensors) {
       out.top_churn.size() > static_cast<std::size_t>(top_tensors)) {
     out.top_churn.resize(static_cast<std::size_t>(top_tensors));
   }
+  out.tiers = report.tiers;
   out.flows_retried = report.flows_retried;
   out.retry_exhausted = report.retry_exhausted;
   out.retry_backoff_sec = report.retry_backoff_sec;
@@ -214,6 +215,23 @@ std::string AttributionReport::Render() const {
     os << buffer;
   } else {
     os << "  top contended link: none (no traffic)\n";
+  }
+  // Multi-node machines get the per-tier byte split; the section is absent on
+  // single-server runs (tiers empty), keeping historical output byte-identical.
+  if (!tiers.empty()) {
+    os << "  tier byte split:\n";
+    for (const RunReport::TierUsage& tier : tiers) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "    %-5s %s carried (%lld flows, %.3f s link-busy; collective %s, "
+                    "swap %s)\n",
+                    tier.name.c_str(), FormatBytes(tier.bytes).c_str(),
+                    static_cast<long long>(tier.flows), tier.busy_time,
+                    FormatBytes(tier.of(TransferKind::kCollective)).c_str(),
+                    FormatBytes(tier.of(TransferKind::kSwapIn) +
+                                tier.of(TransferKind::kSwapOut))
+                        .c_str());
+      os << buffer;
+    }
   }
   if (top_churn.empty()) {
     os << "  top churn tensors: none\n";

@@ -98,6 +98,21 @@ struct RunReport {
   };
   std::vector<LinkUsage> links;
 
+  // Per-tier byte split for multi-node machines: link stats aggregated over the pcie / nic
+  // / rack contention tiers (LinkTier). Empty on single-server topologies — every legacy
+  // report (stdout, JSON, golden benches) stays byte-identical. The cluster conservation
+  // tests assert the tiers partition the link totals and that swap bytes never leave the
+  // pcie tier.
+  struct TierUsage {
+    std::string name;  // LinkTierName: "pcie" | "nic" | "rack"
+    Bytes bytes = 0;
+    double busy_time = 0.0;        // sum of member-link busy time
+    std::int64_t flows = 0;        // flows carried to completion
+    Bytes bytes_by_kind[kNumTransferKinds] = {};
+    Bytes of(TransferKind kind) const { return bytes_by_kind[static_cast<int>(kind)]; }
+  };
+  std::vector<TierUsage> tiers;
+
   // Per-node ingress/egress by transfer kind, counted at flow start (the TransferManager's
   // endpoint-indexed view of the same bytes the MemoryCounters track per class — the
   // byte-conservation cross-check in metrics_test equates the two).
@@ -211,6 +226,10 @@ struct AttributionReport {
   Bytes bottleneck_bytes = 0;
 
   std::vector<RunReport::TensorChurn> top_churn;  // by moved_bytes(), descending
+
+  // Per-tier byte splits mirrored from the RunReport. Empty on single-server machines;
+  // Render() only prints the section when non-empty (legacy output byte-identical).
+  std::vector<RunReport::TierUsage> tiers;
 
   // Resilience scalars mirrored from the RunReport (all zero / -1 on a failure-free run;
   // Render() only prints the section when something is nonzero, keeping historical output

@@ -20,6 +20,8 @@ const char* LintCheckName(LintCheck check) {
       return "pin-balance";
     case LintCheck::kCollective:
       return "collective";
+    case LintCheck::kHierarchical:
+      return "hierarchical";
     case LintCheck::kFeasibility:
       return "feasibility";
     case LintCheck::kCrossDeviceHazard:
@@ -518,7 +520,136 @@ class Linter {
       }
     }
 
+    CheckHierarchical(groups);
     CheckRendezvousDeadlock(groups);
+  }
+
+  // Two-level group structure (DESIGN.md §12): on multi-node plans (device_node stamped by
+  // AnnotateClusterStructure with > 1 distinct node) every collective's members must (a)
+  // carry the node annotation of their own device — a crossed intra/inter rendezvous would
+  // make the hierarchical engine build the wrong tree, (b) balance membership and bytes
+  // across the nodes they span — the inter-node reduce-scatter assumes equal shards, and
+  // (c) cover the same number of nodes as sibling groups reducing the same payload — a
+  // node dropped from the inter-node tree leaves dense replica ranks (node-major indexing)
+  // and survives the flat-rank check above, so coverage is voted on separately.
+  void CheckHierarchical(const std::map<int, std::vector<const Task*>>& groups) {
+    const std::vector<int>& node_of = plan_.device_node;
+    if (node_of.empty()) {
+      return;  // single-node plan: no annotation, no hierarchical structure to check
+    }
+    bool multi_node = false;
+    for (int node : node_of) {
+      if (node != node_of.front()) {
+        multi_node = true;
+        break;
+      }
+    }
+    if (!multi_node) {
+      return;
+    }
+
+    // Node-coverage consensus per payload kind, mirroring the member-count consensus in
+    // CheckCollectives: sibling groups reducing the same payload must span the same number
+    // of nodes.
+    std::map<int, std::map<std::size_t, int>> coverage_votes;  // payload -> nodes -> count
+    std::map<int, std::map<int, std::vector<const Task*>>> by_node_per_group;
+    for (const auto& [group, members] : groups) {
+      std::map<int, std::vector<const Task*>>& by_node = by_node_per_group[group];
+      for (const Task* m : members) {
+        if (m->device < 0 || m->device >= static_cast<int>(node_of.size())) {
+          continue;  // structural checks already flagged the bad device
+        }
+        by_node[node_of[st(m->device)]].push_back(m);
+      }
+      coverage_votes[static_cast<int>(members.front()->collective_data)][by_node.size()]++;
+    }
+    std::map<int, std::size_t> modal_coverage;
+    for (const auto& [kind, votes] : coverage_votes) {
+      std::size_t best = 0;
+      int best_count = 0;
+      for (const auto& [nodes, count] : votes) {
+        if (count > best_count) {
+          best = nodes;
+          best_count = count;
+        }
+      }
+      modal_coverage[kind] = best;
+    }
+
+    for (const auto& [group, members] : groups) {
+      std::vector<TaskId> ids;
+      for (const Task* m : members) {
+        ids.push_back(m->id);
+      }
+      // (a) annotation consistency: a member whose collective_node disagrees with its
+      // device's node would rendezvous in the wrong tier of the two-level structure.
+      for (const Task* m : members) {
+        if (m->device < 0 || m->device >= static_cast<int>(node_of.size())) {
+          continue;
+        }
+        const int expected_node = node_of[st(m->device)];
+        if (m->collective_node != expected_node) {
+          Error(LintCheck::kHierarchical,
+                "collective group " + std::to_string(group) + ": " + TaskName(m->id) +
+                    " is annotated node " + std::to_string(m->collective_node) +
+                    " but runs on device " + std::to_string(m->device) + " (node " +
+                    std::to_string(expected_node) +
+                    ") — crossed intra/inter rendezvous",
+                ids, kInvalidTensor, m->device);
+        }
+      }
+      const std::map<int, std::vector<const Task*>>& by_node = by_node_per_group[group];
+      // (c) dense node coverage vs. the sibling consensus. Checked before the single-node
+      // early-out: a group whose siblings span the fleet but which itself collapsed onto
+      // one node is precisely a dropped inter-node tree.
+      const std::size_t expected_nodes =
+          modal_coverage[static_cast<int>(members.front()->collective_data)];
+      if (by_node.size() != expected_nodes) {
+        Error(LintCheck::kHierarchical,
+              "collective group " + std::to_string(group) + " spans " +
+                  std::to_string(by_node.size()) + " node(s) but sibling groups reducing " +
+                  "the same payload span " + std::to_string(expected_nodes) +
+                  " — a node was dropped from the inter-node tree",
+              ids);
+      }
+      if (by_node.size() <= 1) {
+        continue;  // intra-node group: the flat checks fully cover the rest
+      }
+      // (b) per-node membership and byte balance: the hierarchical engine reduces equal
+      // sub-group shards, so a node with more members or different byte sums desyncs the
+      // inter-node tree.
+      const std::size_t first_count = by_node.begin()->second.size();
+      Bytes first_bytes = 0;
+      for (const Task* m : by_node.begin()->second) {
+        first_bytes += m->collective_bytes;
+      }
+      for (const auto& [node, node_members] : by_node) {
+        Bytes node_bytes = 0;
+        for (const Task* m : node_members) {
+          node_bytes += m->collective_bytes;
+        }
+        if (node_members.size() != first_count) {
+          Error(LintCheck::kHierarchical,
+                "collective group " + std::to_string(group) + " has " +
+                    std::to_string(node_members.size()) + " member(s) on node " +
+                    std::to_string(node) + " but " + std::to_string(first_count) +
+                    " on node " + std::to_string(by_node.begin()->first) +
+                    " — uneven sub-groups break the inter-node reduce-scatter",
+                ids);
+          break;
+        }
+        if (node_bytes != first_bytes) {
+          Error(LintCheck::kHierarchical,
+                "collective group " + std::to_string(group) + " moves " +
+                    std::to_string(node_bytes) + " bytes on node " + std::to_string(node) +
+                    " but " + std::to_string(first_bytes) + " on node " +
+                    std::to_string(by_node.begin()->first) +
+                    " — sub-group byte skew desyncs the shard exchange",
+                ids);
+          break;
+        }
+      }
+    }
   }
 
   // "No rank waits forever": collapse each collective group into one rendezvous node (all

@@ -60,6 +60,8 @@ enum class LintCheck {
   kDanglingReference,  // tensor ids outside the registry
   kPinBalance,         // duplicate pins in a working set / free-pairing violations
   kCollective,         // rank matching, group consistency, rendezvous deadlock
+  kHierarchical,       // two-level (node) group structure: annotation consistency,
+                       // per-node membership/byte balance, dense node coverage
   kFeasibility,        // single-task working set exceeds device capacity
   kCrossDeviceHazard,  // unordered cross-device write/write or read/write on one tensor
   kLifetime,           // use-after-free, double free, racy free

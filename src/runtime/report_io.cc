@@ -186,6 +186,20 @@ std::string ReportToJson(const RunReport& report) {
   }
   os << "  ],\n";
 
+  // Tier split only for multi-node machines: the key is absent on single-server reports,
+  // so every pre-cluster JSON (and its golden copies) stays byte-identical.
+  if (!report.tiers.empty()) {
+    os << "  \"tiers\": [\n";
+    for (std::size_t t = 0; t < report.tiers.size(); ++t) {
+      const RunReport::TierUsage& tier = report.tiers[t];
+      os << "    {\"name\": " << JsonString(tier.name) << ", \"bytes\": " << tier.bytes
+         << ", \"busy_s\": " << JsonNumber(tier.busy_time) << ", \"flows\": " << tier.flows
+         << ", \"bytes_by_kind\": " << BytesByKindObject(tier.bytes_by_kind) << "}"
+         << (t + 1 < report.tiers.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+  }
+
   os << "  \"node_io\": [\n";
   for (std::size_t n = 0; n < report.node_io.size(); ++n) {
     const RunReport::NodeIo& node = report.node_io[n];

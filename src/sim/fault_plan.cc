@@ -119,6 +119,51 @@ StatusOr<int> ParseTargetField(const std::string& event, const Field& field) {
   return ParseGpuField(event, field);
 }
 
+// Non-negative index following `prefix`, or -1 when the field does not start with it.
+// "nic" alone (no digits) and negative/garbage indices reject via the caller.
+int ParseIndexAfter(const std::string& text, const char* prefix) {
+  const std::size_t len = std::char_traits<char>::length(prefix);
+  if (text.rfind(prefix, 0) != 0 || text.size() == len) {
+    return -1;
+  }
+  const std::string digits = text.substr(len);
+  char* end = nullptr;
+  const long value = std::strtol(digits.c_str(), &end, 10);
+  if (end != digits.c_str() + digits.size() || value < 0) {
+    return -1;
+  }
+  return static_cast<int>(value);
+}
+
+// Network-capable target for flow_flap / brownout: "gpu<i>", "host", "nic<i>" or "rack<i>".
+// Exactly one of the out-params is set (host = gpu stays -1 with nic/rack -1).
+Status ParseNetworkTargetField(const std::string& event, const Field& field, FaultEvent* e) {
+  if (field.text.rfind("nic", 0) == 0) {
+    const int nic = ParseIndexAfter(field.text, "nic");
+    if (nic < 0) {
+      return MalformedEvent(event, field.offset,
+                            "expected a target like 'nic0', got '" + field.text + "'");
+    }
+    e->nic = nic;
+    return Status::Ok();
+  }
+  if (field.text.rfind("rack", 0) == 0) {
+    const int rack = ParseIndexAfter(field.text, "rack");
+    if (rack < 0) {
+      return MalformedEvent(event, field.offset,
+                            "expected a target like 'rack0', got '" + field.text + "'");
+    }
+    e->rack = rack;
+    return Status::Ok();
+  }
+  StatusOr<int> target = ParseTargetField(event, field);
+  if (!target.ok()) {
+    return target.status();
+  }
+  e->gpu = target.value();
+  return Status::Ok();
+}
+
 StatusOr<FaultPlan> ParseRandSpec(const std::string& event, std::size_t offset) {
   RandomFaultOptions options;
   // event = "rand:key=value,key=value,..."
@@ -146,6 +191,15 @@ StatusOr<FaultPlan> ParseRandSpec(const std::string& event, std::size_t offset) 
       options.horizon = v.value();
     } else if (key == "gpus") {
       options.num_gpus = static_cast<int>(std::strtol(value.text.c_str(), nullptr, 10));
+    } else if (key == "nics" || key == "racks") {
+      char* end = nullptr;
+      const long count = std::strtol(value.text.c_str(), &end, 10);
+      if (value.text.empty() || end != value.text.c_str() + value.text.size() || count < 0) {
+        return MalformedEvent(event, value.offset,
+                              key + " must be a non-negative integer, got '" + value.text +
+                                  "'");
+      }
+      (key == "nics" ? options.num_nics : options.num_racks) = static_cast<int>(count);
     } else if (key == "fail" || key == "ext" || key == "ckpt") {
       const bool on = value.text == "1" || value.text == "true";
       if (!on && value.text != "0" && value.text != "false") {
@@ -191,6 +245,12 @@ const char* FaultKindName(FaultKind kind) {
 std::string FaultEvent::ToString() const {
   std::ostringstream os;
   const auto target = [this]() -> std::string {
+    if (nic >= 0) {
+      return "nic" + std::to_string(nic);
+    }
+    if (rack >= 0) {
+      return "rack" + std::to_string(rack);
+    }
     return gpu < 0 ? "host" : "gpu" + std::to_string(gpu);
   };
   switch (kind) {
@@ -328,18 +388,18 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       e.duration = duration.value();
     } else if (kind == "flow_flap") {
       if (fields.size() != 2) {
-        return MalformedEvent(event, offset, "expected flow_flap@<t>:<gpu<i>|host>");
+        return MalformedEvent(event, offset,
+                              "expected flow_flap@<t>:<gpu<i>|host|nic<i>|rack<i>>");
       }
-      StatusOr<int> target = ParseTargetField(event, fields[1]);
+      const Status target = ParseNetworkTargetField(event, fields[1], &e);
       if (!target.ok()) {
-        return target.status();
+        return target;
       }
       e.kind = FaultKind::kFlowFlap;
-      e.gpu = target.value();
     } else if (kind == "brownout") {
       if (fields.size() != 4) {
         return MalformedEvent(event, offset,
-                              "expected brownout@<t>:<gpu<i>|host>:<scale>:<dur>");
+                              "expected brownout@<t>:<gpu<i>|host|nic<i>|rack<i>>:<scale>:<dur>");
       }
       StatusOr<double> scale = ParseScale(event, fields[2]);
       if (!scale.ok()) {
@@ -349,12 +409,11 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       if (!duration.ok()) {
         return duration.status();
       }
-      StatusOr<int> target = ParseTargetField(event, fields[1]);
+      const Status target = ParseNetworkTargetField(event, fields[1], &e);
       if (!target.ok()) {
-        return target.status();
+        return target;
       }
       e.kind = FaultKind::kLinkBrownout;
-      e.gpu = target.value();
       e.scale = scale.value();
       e.duration = duration.value();
     } else if (kind == "gpu_slow") {
@@ -406,10 +465,23 @@ FaultPlan MakeRandomFaultPlan(const RandomFaultOptions& options) {
   const auto draw_duration = [&rng, &options] {
     return std::max(0.001, -options.mean_duration * std::log(1.0 - rng.NextDouble()));
   };
-  // "gpu<i>" for i < num_gpus, or "host" (encoded -1) with equal probability.
-  const auto draw_target = [&rng, num_gpus] {
-    const std::uint64_t t = rng.NextBounded(num_gpus + 1);
-    return t == num_gpus ? -1 : static_cast<int>(t);
+  // "gpu<i>" for i < num_gpus, or "host" (encoded -1), with equal probability; when the
+  // machine has network tiers (nics=/racks=) the range widens to "nic<i>" / "rack<i>"
+  // targets. Gating the widening on the options keeps pre-cluster seeds bitwise-stable.
+  const auto num_nics = static_cast<std::uint64_t>(options.num_nics < 0 ? 0 : options.num_nics);
+  const auto num_racks =
+      static_cast<std::uint64_t>(options.num_racks < 0 ? 0 : options.num_racks);
+  const auto draw_target = [&rng, num_gpus, num_nics, num_racks](FaultEvent* e) {
+    const std::uint64_t t = rng.NextBounded(num_gpus + 1 + num_nics + num_racks);
+    if (t < num_gpus) {
+      e->gpu = static_cast<int>(t);
+    } else if (t == num_gpus) {
+      e->gpu = -1;
+    } else if (t < num_gpus + 1 + num_nics) {
+      e->nic = static_cast<int>(t - num_gpus - 1);
+    } else {
+      e->rack = static_cast<int>(t - num_gpus - 1 - num_nics);
+    }
   };
   bool fail_stop_used = false;
   double t = 0.0;
@@ -448,10 +520,10 @@ FaultPlan MakeRandomFaultPlan(const RandomFaultOptions& options) {
         e.kind = FaultKind::kCkptCorrupt;
       } else if (which == 3) {
         e.kind = FaultKind::kFlowFlap;
-        e.gpu = draw_target();
+        draw_target(&e);
       } else if (which == 4) {
         e.kind = FaultKind::kLinkBrownout;
-        e.gpu = draw_target();
+        draw_target(&e);
         e.scale = draw_scale();
         e.duration = draw_duration();
       } else {

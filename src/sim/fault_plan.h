@@ -38,6 +38,12 @@ struct FaultEvent {
   int gpu = -1;         // target GPU for GPU-scoped kinds; -1 = host / untargeted
   double scale = 1.0;   // bandwidth (or compute, for kGpuSlow) multiplier while degraded
   double duration = 0.0;  // seconds the effect lasts; 0 = permanent (rendered "inf")
+  // Node-scoped network targets for kFlowFlap / kLinkBrownout on multi-node machines:
+  // nic<i> = node i's NIC links, rack<i> = rack i's ToR links. At most one of gpu/nic/rack
+  // is set; both -1 defers to `gpu` (gpu<i> or host). Last so pre-cluster brace inits of
+  // {time, kind, gpu, scale, duration} keep compiling unchanged.
+  int nic = -1;
+  int rack = -1;
 
   // One-line rendering, e.g. "fail@1.500:gpu2" — stable across runs (trace identity).
   std::string ToString() const;
@@ -66,12 +72,14 @@ class FaultPlan {
 //   degrade@<t>:gpu<i>:<scale>:<dur>    GPU link degraded to scale for dur seconds
 //   degrade@<t>:host:<scale>:<dur>      all host uplinks degraded
 //   mem@<t>:<scale>:<dur>               transient host-memory pressure (swap bw scaled)
-//   flow_flap@<t>:<gpu<i>|host>         abort in-flight flows on the target's links
-//   brownout@<t>:<gpu<i>|host>:<scale>:<dur>  degrade + flap in-flight flows at onset
+//   flow_flap@<t>:<gpu<i>|host|nic<i>|rack<i>>  abort in-flight flows on the target's links
+//   brownout@<t>:<gpu<i>|host|nic<i>|rack<i>>:<scale>:<dur>  degrade + flap at onset
 //   gpu_slow@<t>:gpu<i>:<scale>:<dur>   device computes at scale of rated flops
 //   ckpt_corrupt@<t>                    corrupt the newest host checkpoint generation
 //   rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>][,ext=<0|1>][,ckpt=<0|1>]
-//                                       seeded RNG-driven schedule over [0, horizon)
+//       [,nics=<n>][,racks=<n>]         seeded RNG-driven schedule over [0, horizon)
+// nic<i> / rack<i> target node i's NIC links / rack i's ToR links on multi-node machines
+// (flow_flap and brownout only).
 // Durations must be > 0 or the literal "inf" (permanent); scales must be in (0, 1].
 // Malformed specs return an actionable error carrying the byte offset of the offending
 // field instead of crashing.
@@ -89,6 +97,10 @@ struct RandomFaultOptions {
   // seeded plan) is unchanged when they are off.
   bool transient = false;      // include flow_flap / brownout / gpu_slow ("ext=1")
   bool ckpt_faults = false;    // include ckpt_corrupt ("ckpt=1")
+  // Network-tier targets for flow_flap / brownout draws ("nics="/"racks="). 0 keeps the
+  // target draw range (and every pre-existing seeded plan) unchanged.
+  int num_nics = 0;
+  int num_racks = 0;
 };
 
 // Seeded fault schedule: exponential inter-arrival times at rate 1/mtbf, each event a

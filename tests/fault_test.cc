@@ -183,6 +183,157 @@ TEST(FaultInjectorTest, OutOfRangeGpuTargetIsDroppedNotFatal) {
   EXPECT_NE(injector.TraceString().find("drop@"), std::string::npos);
 }
 
+// ---- Network-scoped fault targets (nic<i> / rack<i>) ------------------------------------------
+
+ClusterConfig TwoNodeCluster() {
+  ClusterConfig config;
+  config.num_servers = 2;
+  config.server.num_gpus = 2;
+  config.server.gpus_per_switch = 2;
+  return config;
+}
+
+TEST(FaultPlanTest, NetworkTargetsRoundTripThroughToString) {
+  const StatusOr<FaultPlan> plan =
+      ParseFaultSpec("flow_flap@1:nic0;brownout@2:rack1:0.5:3;flow_flap@4:gpu2;"
+                     "brownout@5:host:0.25:inf");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().ToString(),
+            "flow_flap@1.000:nic0;brownout@2.000:rack1:0.500:3.000;"
+            "flow_flap@4.000:gpu2;brownout@5.000:host:0.250:inf");
+  const StatusOr<FaultPlan> again = ParseFaultSpec(plan.value().ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().ToString(), plan.value().ToString());
+}
+
+TEST(FaultInjectorTest, NicBrownoutScalesOnlyThatNodesNicLinks) {
+  Topology topo = MakeClusterTopology(TwoNodeCluster());
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+  FaultInjector injector(&sim, &tm);
+  const StatusOr<FaultPlan> plan = ParseFaultSpec("brownout@1:nic0:0.5:1");
+  ASSERT_TRUE(plan.ok());
+  injector.Arm(plan.value());
+  const std::vector<LinkId> hit = IncidentLinks(topo, topo.nic_node(0));
+  const std::vector<LinkId> bystander = IncidentLinks(topo, topo.nic_node(1));
+  ASSERT_FALSE(hit.empty());
+  ASSERT_FALSE(bystander.empty());
+  std::vector<double> during, after;
+  sim.ScheduleAt(1.5, [&] {
+    for (LinkId l : hit) {
+      during.push_back(tm.link_bandwidth_scale(l));
+    }
+    for (LinkId l : bystander) {
+      during.push_back(tm.link_bandwidth_scale(l) + 10.0);  // tagged: must stay 11.0
+    }
+  });
+  sim.ScheduleAt(3.0, [&] {
+    for (LinkId l : hit) {
+      after.push_back(tm.link_bandwidth_scale(l));
+    }
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(during.size(), hit.size() + bystander.size());
+  for (std::size_t i = 0; i < hit.size(); ++i) {
+    EXPECT_DOUBLE_EQ(during[i], 0.5);  // the node's host<->NIC and NIC<->ToR links
+  }
+  for (std::size_t i = hit.size(); i < during.size(); ++i) {
+    EXPECT_DOUBLE_EQ(during[i], 11.0);  // the other node's NIC untouched
+  }
+  for (double scale : after) {
+    EXPECT_DOUBLE_EQ(scale, 1.0);  // exact unwind after expiry
+  }
+}
+
+TEST(FaultInjectorTest, RackBrownoutScalesTheTorLinks) {
+  ClusterConfig config = TwoNodeCluster();
+  config.num_servers = 4;
+  config.nodes_per_rack = 2;  // two racks behind a spine
+  Topology topo = MakeClusterTopology(config);
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+  FaultInjector injector(&sim, &tm);
+  const StatusOr<FaultPlan> plan = ParseFaultSpec("brownout@1:rack0:0.25:2");
+  ASSERT_TRUE(plan.ok());
+  injector.Arm(plan.value());
+  const std::vector<LinkId> hit = IncidentLinks(topo, topo.tor_node(0));
+  const std::vector<LinkId> bystander = IncidentLinks(topo, topo.tor_node(1));
+  std::vector<double> during;
+  sim.ScheduleAt(2.0, [&] {
+    for (LinkId l : hit) {
+      during.push_back(tm.link_bandwidth_scale(l));
+    }
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(during.size(), hit.size());
+  for (double scale : during) {
+    EXPECT_DOUBLE_EQ(scale, 0.25);
+  }
+  for (LinkId l : bystander) {
+    EXPECT_DOUBLE_EQ(tm.link_bandwidth_scale(l), 1.0);  // rack1 rides out the brownout
+  }
+}
+
+TEST(FaultInjectorTest, NicFlowFlapAbortsCrossNodeFlowsOnly) {
+  Topology topo = MakeClusterTopology(TwoNodeCluster());
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+  FaultInjector injector(&sim, &tm);
+  // gpu0 -> gpu2 crosses node 0's NIC; gpu0 -> gpu1 stays behind the PCIe switch.
+  OneShotEvent* doomed = tm.StartTransfer(topo.gpu_node(0), topo.gpu_node(2),
+                                          static_cast<Bytes>(GBps(12.8)),
+                                          TransferKind::kPeerToPeer);
+  OneShotEvent* survivor = tm.StartTransfer(topo.gpu_node(0), topo.gpu_node(1),
+                                            static_cast<Bytes>(GBps(12.8)),
+                                            TransferKind::kPeerToPeer);
+  const StatusOr<FaultPlan> plan = ParseFaultSpec("flow_flap@0.5:nic0");
+  ASSERT_TRUE(plan.ok());
+  injector.Arm(plan.value());
+  sim.RunUntilIdle();
+  ASSERT_TRUE(doomed->fired());
+  EXPECT_TRUE(tm.WasAborted(doomed));
+  EXPECT_NEAR(doomed->fire_time(), 0.5, 1e-9);
+  ASSERT_TRUE(survivor->fired());
+  EXPECT_FALSE(tm.WasAborted(survivor));
+}
+
+TEST(FaultInjectorTest, OutOfRangeNetworkTargetsAreDroppedNotFatal) {
+  // A single commodity server has no NICs and no racks: nic0/rack0 events drop with a
+  // typed trace line instead of aborting the run.
+  Topology topo = MakeCommodityServerTopology(FourGpuServer());
+  Simulator sim;
+  TransferManager tm(&sim, &topo);
+  FaultInjector injector(&sim, &tm);
+  const StatusOr<FaultPlan> plan = ParseFaultSpec("flow_flap@1:nic0;brownout@2:rack0:0.5:1");
+  ASSERT_TRUE(plan.ok());
+  injector.Arm(plan.value());
+  sim.RunUntilIdle();
+  EXPECT_NE(injector.TraceString().find("no such NIC on this machine"), std::string::npos);
+  EXPECT_NE(injector.TraceString().find("no such rack on this machine"), std::string::npos);
+  EXPECT_EQ(injector.TraceString().find("apply@"), std::string::npos);
+}
+
+TEST(FaultPlanTest, RandomPlansDrawNetworkTargetsOnlyWhenEnabled) {
+  RandomFaultOptions options;
+  options.seed = 7;
+  options.mtbf = 1.0;
+  options.horizon = 60.0;
+  options.num_gpus = 4;
+  options.transient = true;
+  const std::string legacy = MakeRandomFaultPlan(options).ToString();
+  EXPECT_EQ(legacy.find("nic"), std::string::npos);
+  EXPECT_EQ(legacy.find("rack"), std::string::npos);
+  // Same seed with network targets enabled: deterministic, and the widened draw actually
+  // lands on the new targets somewhere in a 60 s horizon.
+  options.num_nics = 4;
+  options.num_racks = 2;
+  const std::string widened = MakeRandomFaultPlan(options).ToString();
+  EXPECT_EQ(widened, MakeRandomFaultPlan(options).ToString());
+  EXPECT_TRUE(widened.find("nic") != std::string::npos ||
+              widened.find("rack") != std::string::npos)
+      << widened;
+}
+
 // ---- Session-level failure reports ------------------------------------------------------------
 
 using test_models::FaultConfig;
@@ -254,6 +405,44 @@ TEST(FaultSessionTest, ValidateRejectsFaultTargetsOutsideTheMachine) {
   const Status status = ValidateSessionConfig(model, config);
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.message().find("gpu"), std::string::npos);
+}
+
+TEST(FaultSessionTest, ValidateRejectsNetworkFaultTargetsOutsideTheCluster) {
+  const Model model = FaultModel();
+  {
+    // A single-node machine has no NICs: nic0 is out of range at validation time.
+    SessionConfig config = FaultConfig(2, 4);
+    const StatusOr<FaultPlan> plan = ParseFaultSpec("flow_flap@1:nic0");
+    ASSERT_TRUE(plan.ok());
+    config.faults = plan.value();
+    const Status status = ValidateSessionConfig(model, config);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("nic"), std::string::npos);
+  }
+  {
+    // Two nodes in one rack: rack1 does not exist.
+    SessionConfig config = FaultConfig(2, 4);
+    config.num_nodes = 2;
+    config.scheme = Scheme::kHarmonyDp;
+    config.microbatches = 2;
+    const StatusOr<FaultPlan> plan = ParseFaultSpec("brownout@1:rack1:0.5:1");
+    ASSERT_TRUE(plan.ok());
+    config.faults = plan.value();
+    const Status status = ValidateSessionConfig(model, config);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("rack"), std::string::npos);
+  }
+  {
+    // In range on a 2-node cluster: accepted.
+    SessionConfig config = FaultConfig(2, 4);
+    config.num_nodes = 2;
+    config.scheme = Scheme::kHarmonyDp;
+    config.microbatches = 2;
+    const StatusOr<FaultPlan> plan = ParseFaultSpec("flow_flap@1:nic1;brownout@2:rack0:0.5:1");
+    ASSERT_TRUE(plan.ok());
+    config.faults = plan.value();
+    EXPECT_TRUE(ValidateSessionConfig(model, config).ok());
+  }
 }
 
 // ---- Elastic recovery -------------------------------------------------------------------------

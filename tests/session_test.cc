@@ -246,8 +246,8 @@ TEST(ClusterTest, CrossServerRouteTraversesBothHostsAndFabric) {
   config.server.num_gpus = 2;
   config.server.gpus_per_switch = 2;
   const Topology topo = MakeClusterTopology(config);
-  // gpu -> switch -> host -> fabric -> host -> switch -> gpu = 6 hops.
-  EXPECT_EQ(topo.Route(topo.gpu_node(0), topo.gpu_node(2)).size(), 6u);
+  // gpu -> switch -> host -> nic -> tor -> nic -> host -> switch -> gpu = 8 hops.
+  EXPECT_EQ(topo.Route(topo.gpu_node(0), topo.gpu_node(2)).size(), 8u);
   EXPECT_FALSE(topo.RouteAvoidsHost(topo.gpu_node(0), topo.gpu_node(2)));
   EXPECT_TRUE(topo.RouteAvoidsHost(topo.gpu_node(0), topo.gpu_node(1)));
 }

@@ -52,11 +52,35 @@ expect_reject "expects a finite number" --retry_base=slow
 expect_reject "expects an integer" --ckpt_keep=all
 expect_reject "expects a finite number" --straggler_threshold=high
 
+# Cluster topology flags: individual knobs go through the checked accessors, and the
+# --cluster spec grammar rejects with the byte offset of the offending field.
+expect_reject "expects an integer" --nodes=two
+expect_reject "expects an integer" --nodes_per_rack=1.5
+expect_reject "expects a finite number" --nic_gbps=fast
+expect_reject "expects a finite number" --rack_gbps=
+expect_reject "at byte" --cluster='nodes=0'
+expect_reject "unknown cluster option" --cluster='nodes=2,racks=3'
+expect_reject "duplicate cluster option" --cluster='nodes=2,nodes=4'
+expect_reject "must be a positive number" --cluster='nic_gbps=-25'
+
 # Fault-plan grammar violations (DESIGN.md §11): rejected at parse time with the byte
 # offset of the offending field, before any simulation starts.
 expect_reject "duration must be > 0 seconds or 'inf'" --faults='degrade@1:gpu0:0.5:0'
 expect_reject "at byte" --faults='fail@1:gpu0;degrade@2:gpu0:0.5:nan'
 expect_reject "must be 0, 1, true or false" --faults='rand:ext=2'
+expect_reject "expected a target like 'nic0'" --faults='flow_flap@1:nic'
+expect_reject "expected a target like" --faults='brownout@1:rack-1:0.5:1'
+
+# Network-scoped fault targets are validated against the cluster shape before the run:
+# nic5 on a 2-node fleet is a typed validation error (exit 1, not a crash).
+err=$("$sim" --nodes=2 --scheme=harmony-dp --microbatches=2 --faults='flow_flap@1:nic5' 2>&1 >/dev/null)
+code=$?
+if [[ $code -ne 1 || "$err" != *"targets nic5"* ]]; then
+  echo "FAIL out-of-range nic fault target : exit $code, stderr: $err" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   --nodes=2 --faults=flow_flap@1:nic5 -> exit 1 (validation)"
+fi
 
 # Unknown flags are rejected up front with the full usage text.
 err=$("$sim" --no_such_flag=1 2>&1 >/dev/null)

@@ -31,6 +31,7 @@ benches=(
   bench_ablation_opts
   bench_e2e_comparison
   bench_chaos
+  bench_cluster_scaleout
 )
 
 workdir=$(mktemp -d)

@@ -13,6 +13,7 @@
 #include "src/core/recovery.h"
 #include "src/core/schedule_render.h"
 #include "src/core/session.h"
+#include "src/hw/cluster_spec.h"
 #include "src/core/tuner.h"
 #include "src/graph/model_zoo.h"
 #include "src/runtime/plan_lint.h"
@@ -61,9 +62,18 @@ int Run(int argc, char** argv) {
   flags.Define("model", "bert-large",
               "lenet | alexnet | gnmt | amoebanet | bert-base | bert-large | gpt2-xl | toy")
       .Define("scheme", "harmony-pp", "baseline-dp | baseline-pp | harmony-dp | harmony-pp | harmony-tp")
-      .Define("gpus", "4", "number of GPUs")
+      .Define("gpus", "4", "number of GPUs per node")
       .Define("gpu_memory_gib", "11", "per-GPU memory (GiB)")
       .Define("gpus_per_switch", "4", "GPUs below each PCIe switch")
+      .Define("nodes", "1", "number of servers (1 = single commodity server, no NICs)")
+      .Define("nodes_per_rack", "0",
+              "servers per top-of-rack switch (0 = one rack holds every node)")
+      .Define("nic_gbps", "25", "per-node NIC bandwidth, Gbit/s (host <-> NIC <-> ToR)")
+      .Define("rack_gbps", "100", "rack uplink bandwidth, Gbit/s (ToR <-> spine)")
+      .Define("cluster", "",
+              "cluster topology spec 'nodes=N,gpus_per_node=G,nodes_per_rack=R,"
+              "nic_gbps=X,rack_gbps=Y' (any subset of keys); overrides --nodes, --gpus, "
+              "--nodes_per_rack, --nic_gbps, and --rack_gbps")
       .Define("microbatches", "8", "microbatches per GPU (DP) / total (PP)")
       .Define("microbatch_size", "5", "samples per microbatch")
       .Define("iterations", "3", "training iterations to simulate")
@@ -94,11 +104,13 @@ int Run(int argc, char** argv) {
       .Define("faults", "",
               "fault schedule: 'fail@<t>:gpu<i>', 'degrade@<t>:gpu<i>:<scale>:<dur>', "
               "'degrade@<t>:host:<scale>:<dur>', 'mem@<t>:<scale>:<dur>', "
-              "'flow_flap@<t>:<gpu<i>|host>', 'brownout@<t>:<gpu<i>|host>:<scale>:<dur>', "
+              "'flow_flap@<t>:<gpu<i>|host|nic<i>|rack<i>>', "
+              "'brownout@<t>:<gpu<i>|host|nic<i>|rack<i>>:<scale>:<dur>', "
               "'gpu_slow@<t>:gpu<i>:<scale>:<dur>', 'ckpt_corrupt@<t>', or "
-              "'rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,fail=<0|1>][,ext=<0|1>]"
-              "[,ckpt=<0|1>]', semicolon-separated; durations are > 0 seconds or 'inf'; "
-              "empty = no faults")
+              "'rand:seed=<s>,mtbf=<sec>,horizon=<sec>[,gpus=<n>][,nics=<n>][,racks=<n>]"
+              "[,fail=<0|1>][,ext=<0|1>][,ckpt=<0|1>]', semicolon-separated; durations are "
+              "> 0 seconds or 'inf'; nic/rack targets hit inter-node links and need "
+              "--nodes > 1; empty = no faults")
       .Define("checkpoint_every", "0",
               "host-checkpoint weights every k iterations (0 = never); the recovery path "
               "resumes from the last committed checkpoint after a GPU fail-stop")
@@ -147,8 +159,13 @@ int Run(int argc, char** argv) {
 
   SessionConfig config;
   double gpu_memory_gib = 0.0;
+  double nic_gbps = 0.0, rack_gbps = 0.0;
   if (!AssignFlag(flags.GetCheckedInt("gpus"), &config.server.num_gpus) ||
       !AssignFlag(flags.GetCheckedInt("gpus_per_switch"), &config.server.gpus_per_switch) ||
+      !AssignFlag(flags.GetCheckedInt("nodes"), &config.num_nodes) ||
+      !AssignFlag(flags.GetCheckedInt("nodes_per_rack"), &config.nodes_per_rack) ||
+      !AssignFlag(flags.GetCheckedDouble("nic_gbps"), &nic_gbps) ||
+      !AssignFlag(flags.GetCheckedDouble("rack_gbps"), &rack_gbps) ||
       !AssignFlag(flags.GetCheckedDouble("gpu_memory_gib"), &gpu_memory_gib) ||
       !AssignFlag(flags.GetCheckedInt("microbatches"), &config.microbatches) ||
       !AssignFlag(flags.GetCheckedInt("microbatch_size"), &config.microbatch_size) ||
@@ -168,6 +185,22 @@ int Run(int argc, char** argv) {
   config.server.gpu.memory_bytes =
       static_cast<Bytes>(gpu_memory_gib * static_cast<double>(kGiB));
   config.scheme = scheme.value();
+  config.nic_link = NicLinkSpec(nic_gbps);
+  config.rack_link = RackLinkSpec(rack_gbps);
+  if (!flags.Get("cluster").empty()) {
+    // --cluster is the one-flag spelling of the fleet shape; it wins over the individual
+    // topology flags so scripted sweeps can override a baseline command line wholesale.
+    const StatusOr<ClusterSpec> cluster = ParseClusterSpec(flags.Get("cluster"));
+    if (!cluster.ok()) {
+      std::cerr << cluster.status().ToString() << "\n(run with --help for flag usage)\n";
+      return 2;
+    }
+    config.num_nodes = cluster.value().nodes;
+    config.nodes_per_rack = cluster.value().nodes_per_rack;
+    config.server.num_gpus = cluster.value().gpus_per_node;
+    config.nic_link = NicLinkSpec(cluster.value().nic_gbps);
+    config.rack_link = RackLinkSpec(cluster.value().rack_gbps);
+  }
   bool tune = false, timeline = false, explain = false, lint = false;
   if (!AssignFlag(flags.GetCheckedBool("recompute"), &config.recompute) ||
       !AssignFlag(flags.GetCheckedBool("prefetch"), &config.prefetch) ||
@@ -223,7 +256,7 @@ int Run(int argc, char** argv) {
   if (lint) {
     // Lint mode: build the plan, run the full static analysis (deep checks included), and
     // report instead of executing. --json switches the output file to the lint report.
-    Machine machine = MakeCommodityServer(config.server);
+    Machine machine = MakeSessionMachine(config);
     TensorRegistry registry;
     const Plan plan = BuildPlanForConfig(model.value(), machine, &registry, config);
     LintOptions options;
@@ -343,6 +376,24 @@ int Run(int argc, char** argv) {
         .Cell(link.utilization, 2);
   }
   links.Print(std::cout);
+
+  // Multi-node runs get the per-tier rollup of the same link totals; single-server output
+  // is unchanged (tiers empty).
+  if (!result.report.tiers.empty()) {
+    std::cout << "\ntier byte split:\n";
+    TablePrinter tiers({"tier", "bytes", "busy (s)", "flows", "collective", "swap"});
+    for (const RunReport::TierUsage& tier : result.report.tiers) {
+      tiers.Row()
+          .Cell(tier.name)
+          .Cell(FormatBytes(tier.bytes))
+          .Cell(tier.busy_time, 2)
+          .Cell(tier.flows)
+          .Cell(FormatBytes(tier.of(TransferKind::kCollective)))
+          .Cell(FormatBytes(tier.of(TransferKind::kSwapIn) +
+                            tier.of(TransferKind::kSwapOut)));
+    }
+    tiers.Print(std::cout);
+  }
 
   if (explain) {
     std::cout << "\n" << Attribute(result.report).Render();

@@ -15,6 +15,10 @@
 #                         (DESIGN.md §11) — retry re-issue on the simulator clock and
 #                         the elastic coordinator under seeded random fault plans at
 #                         several thread counts, the newest multi-threaded hot path.
+#   - `ctest -L cluster`: the multi-server scale-out tier (DESIGN.md §12) — the
+#                         determinism grid across node counts and sim_threads, tier
+#                         conservation, and the hierarchical-linter mutation suite,
+#                         whose NIC/ToR event lanes are the newest parallel surface.
 # Pass --full to run the entire ctest suite under each sanitizer instead (slower).
 #
 # Usage: tools/run_sanitizer_suite.sh [--full]
@@ -42,6 +46,7 @@ run_one() {
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L lint)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L simcore)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L chaos)
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L cluster)
   fi
   echo "==== $sanitizer: clean ===="
 }
