@@ -31,8 +31,24 @@ const char* SchemeName(Scheme scheme) {
       return "harmony-pp";
     case Scheme::kHarmonyTp:
       return "harmony-tp";
+    case Scheme::kServing:
+      return "serving";
   }
   return "unknown";
+}
+
+StatusOr<Scheme> SchemeByName(const std::string& name) {
+  for (Scheme scheme :
+       {Scheme::kBaselineDp, Scheme::kBaselinePp, Scheme::kHarmonyDp, Scheme::kHarmonyPp,
+        Scheme::kHarmonyTp, Scheme::kServing}) {
+    if (name == SchemeName(scheme)) {
+      return scheme;
+    }
+  }
+  return InvalidArgumentError(
+      "unknown scheme '" + name +
+      "' (expected baseline-dp, baseline-pp, harmony-dp, harmony-pp, harmony-tp, or "
+      "serving)");
 }
 
 MemoryPolicy DefaultPolicyFor(Scheme scheme, bool p2p) {
@@ -42,7 +58,10 @@ MemoryPolicy DefaultPolicyFor(Scheme scheme, bool p2p) {
       return LmsPolicy();
     case Scheme::kHarmonyDp:
     case Scheme::kHarmonyPp:
-    case Scheme::kHarmonyTp: {
+    case Scheme::kHarmonyTp:
+    // Serving runs under the Harmony policy: cross-device context makes stage-boundary
+    // activations move p2p, and weight evictions are clean drops either way.
+    case Scheme::kServing: {
       MemoryPolicy policy = HarmonyPolicy();
       policy.allow_p2p = p2p;
       return policy;
@@ -122,6 +141,14 @@ Plan BuildPlanForConfig(const Model& model, const Machine& machine, TensorRegist
       plan = BuildHarmonyTpPlan(model, machine, registry, options);
       break;
     }
+    case Scheme::kServing: {
+      ServingPlanOptions options;
+      options.requests = config.iterations;
+      options.batches = config.microbatches;
+      options.batch_size = config.microbatch_size;
+      plan = BuildServingPlan(model, machine, registry, options);
+      break;
+    }
   }
   AnnotateClusterStructure(&plan, machine.topology);
   return plan;
@@ -157,6 +184,27 @@ Status ValidateSessionConfig(const Model& model, const SessionConfig& config) {
   if (config.num_nodes > 1 && (!(config.nic_link.bandwidth_bytes_per_sec > 0.0) ||
                                !(config.rack_link.bandwidth_bytes_per_sec > 0.0))) {
     return InvalidArgumentError("nic/rack link bandwidth must be positive");
+  }
+  // Bound the machine size before any sizing math or topology construction: both factors
+  // are individually valid up to 1 << 20, so the product must be computed widened.
+  const std::int64_t machine_gpus = std::int64_t{config.num_nodes} * config.server.num_gpus;
+  if (machine_gpus > kMaxClusterGpus) {
+    return InvalidArgumentError(
+        "cluster of " + std::to_string(config.num_nodes) + " nodes x " +
+        std::to_string(config.server.num_gpus) + " GPUs = " + std::to_string(machine_gpus) +
+        " total GPUs exceeds the supported maximum of " + std::to_string(kMaxClusterGpus));
+  }
+  if (config.scheme == Scheme::kServing && model.num_layers() < config.total_gpus()) {
+    return InvalidArgumentError(
+        "serving needs at least one layer per pipeline stage: model has " +
+        std::to_string(model.num_layers()) + " layers but the machine has " +
+        std::to_string(config.total_gpus()) + " GPUs");
+  }
+  if (!(config.uplink_bw_fraction > 0.0) || config.uplink_bw_fraction > 1.0 ||
+      !std::isfinite(config.uplink_bw_fraction)) {
+    return InvalidArgumentError(
+        "uplink_bw_fraction must be in (0, 1] — the share of host-uplink and network "
+        "bandwidth this session may draw");
   }
   const bool data_parallel =
       config.scheme == Scheme::kBaselineDp || config.scheme == Scheme::kHarmonyDp;
@@ -248,6 +296,9 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   Machine machine = MakeSessionMachine(config);
   Simulator sim;
   TransferManager transfers(&sim, &machine.topology);
+  // Tenant bandwidth reservation (DESIGN.md §13): applied before any flow exists, so a
+  // full share (the default 1.0) keeps the historical event sequence bit-for-bit.
+  transfers.ApplyUplinkBandwidthQuota(config.uplink_bw_fraction);
   TensorRegistry registry;
   Plan plan = BuildPlanForConfig(model, machine, &registry, config);
   // Pre-size the event arena from the plan's actual shape: each task contributes a handful
@@ -315,6 +366,7 @@ SessionResult RunTraining(const Model& model, const SessionConfig& config) {
   engine_options.prefetch = config.prefetch;
   engine_options.record_timeline = config.record_timeline;
   engine_options.checkpoint_every = config.checkpoint_every;
+  engine_options.checkpoint_final = config.checkpoint_final;
   engine_options.watchdog_timeout = config.watchdog_timeout;
   engine_options.fault_mode = !config.faults.empty();
   engine_options.straggler_threshold = config.straggler_threshold;

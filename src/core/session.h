@@ -5,6 +5,7 @@
 #ifndef HARMONY_SRC_CORE_SESSION_H_
 #define HARMONY_SRC_CORE_SESSION_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,9 +27,14 @@ enum class Scheme {
   kHarmonyDp,
   kHarmonyPp,
   kHarmonyTp,  // intra-op (tensor-parallel) splitting
+  kServing,    // forward-only inference pipeline (Computron-style model swapping)
 };
 
 const char* SchemeName(Scheme scheme);
+
+// Inverse of SchemeName: resolves a user-facing scheme string (flag values, job specs)
+// with a typed error listing nothing silently. Accepts every scheme, including "serving".
+StatusOr<Scheme> SchemeByName(const std::string& name);
 
 struct SessionConfig {
   ServerConfig server;
@@ -42,7 +48,12 @@ struct SessionConfig {
   LinkSpec nic_link = Ethernet25G();   // host <-> NIC <-> ToR
   LinkSpec rack_link = Ethernet100G(); // ToR <-> spine (only built with > 1 rack)
 
-  int total_gpus() const { return num_nodes * server.num_gpus; }
+  // Widened before multiplying so an unvalidated config can't trip signed-overflow UB;
+  // ValidateSessionConfig bounds the product by kMaxClusterGpus, so the narrowing is
+  // lossless for any config that passes validation.
+  int total_gpus() const {
+    return static_cast<int>(std::int64_t{num_nodes} * server.num_gpus);
+  }
 
   // Workload shape: `microbatches` is per GPU for DP schemes and the whole minibatch for PP
   // schemes (matching the paper's "m microbatches per GPU, minibatch of mN microbatches").
@@ -87,6 +98,8 @@ struct SessionConfig {
   // ---- fault tolerance (defaults keep the failure-free path byte-identical) ----
   FaultPlan faults;               // injected hardware anomalies; empty = none
   int checkpoint_every = 0;       // host-checkpoint weights every k iterations (0 = never)
+  bool checkpoint_final = false;  // also commit the checkpoint landing on the last
+                                  // iteration (preemption drains end with that commit)
   double watchdog_timeout = 0.0;  // flag a stalled schedule after this much sim time (0 = off)
 
   // ---- degraded-mode resilience (DESIGN.md §11; defaults keep everything off) ----
@@ -102,6 +115,13 @@ struct SessionConfig {
   // Ring buffer receiving committed checkpoint generations; owned by the recovery
   // coordinator (RunTrainingElastic). nullptr = commits are not retained/verified.
   CheckpointStore* checkpoint_store = nullptr;
+
+  // ---- multi-tenant quota (DESIGN.md §13; default keeps every run byte-identical) ----
+  // Fraction of host-uplink (PCIe host links) and NIC/rack bandwidth this session may
+  // draw. The cluster scheduler sets it to a tenant's reserved share so co-located jobs
+  // compose without modeling cross-session contention; 1.0 = the whole machine (exact
+  // pre-quota behavior and event sequence).
+  double uplink_bw_fraction = 1.0;
 
   // Overrides the scheme-derived memory policy when set (ablations).
   std::optional<MemoryPolicy> policy;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/graph/partition.h"
 #include "src/util/check.h"
 
 namespace harmony {
@@ -353,9 +354,61 @@ void PlanBuilder::AddDep(TaskId task, TaskId dep) {
   plan_.tasks[static_cast<std::size_t>(task)].deps.push_back(dep);
 }
 
+void PlanBuilder::FreeAfter(TaskId task, TensorId tensor) {
+  HCHECK_GE(task, 0);
+  HCHECK_LT(task, static_cast<TaskId>(plan_.tasks.size()));
+  HCHECK(tensor != kInvalidTensor);
+  plan_.tasks[static_cast<std::size_t>(task)].free_after.push_back(tensor);
+}
+
 Plan PlanBuilder::Finish(std::string scheme) {
   plan_.scheme = std::move(scheme);
   return std::move(plan_);
+}
+
+Plan BuildServingPlan(const Model& model, const Machine& machine, TensorRegistry* registry,
+                      const ServingPlanOptions& options) {
+  const int N = machine.num_gpus();
+  const int R = model.num_layers();
+  HCHECK_GE(R, N) << "serving needs at least one layer per stage (" << R << " layers, " << N
+                  << " GPUs)";
+  // One compute-balanced contiguous stage per GPU, weighted by forward FLOPs only — there
+  // is no backward pass to balance against.
+  std::vector<double> costs(static_cast<std::size_t>(R), 0.0);
+  for (int l = 0; l < R; ++l) {
+    costs[static_cast<std::size_t>(l)] = model.layer(l).cost.fwd_flops_per_sample;
+  }
+  const std::vector<int> bounds = PartitionContiguousMinMax(costs, N);
+
+  DecomposerOptions decomp;
+  decomp.microbatches = options.batches;
+  decomp.microbatch_size = options.batch_size;
+  decomp.iterations = options.requests;
+  decomp.recompute = true;  // stashless: only stage-boundary activations materialize
+  PlanBuilder builder(&model, registry, N, decomp);
+
+  for (int it = 0; it < options.requests; ++it) {
+    builder.BeginIteration(it);
+    for (int mb = 0; mb < options.batches; ++mb) {
+      TaskId prev = kInvalidTask;
+      for (int s = 0; s < N; ++s) {
+        std::vector<TaskId> deps;
+        if (prev != kInvalidTask) {
+          deps.push_back(prev);
+        }
+        const TaskId fwd = builder.AddForward(s, bounds[static_cast<std::size_t>(s)],
+                                              bounds[static_cast<std::size_t>(s + 1)], mb, 0,
+                                              std::move(deps));
+        // The consumer owns its input: once stage s has read its boundary activation the
+        // producer's output is dead (no backward will revisit it).
+        builder.FreeAfter(fwd, builder.Activation(bounds[static_cast<std::size_t>(s)], mb, 0));
+        prev = fwd;
+      }
+      // The response leaves the machine: the last stage drops the logits it just produced.
+      builder.FreeAfter(prev, builder.Activation(R, mb, 0));
+    }
+  }
+  return builder.Finish("serving");
 }
 
 void AnnotateClusterStructure(Plan* plan, const Topology& topology) {

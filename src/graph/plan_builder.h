@@ -101,6 +101,12 @@ class PlanBuilder {
   // differs from dependency order, e.g. 1F1B backward edges pointing at later stages).
   void AddDep(TaskId task, TaskId dep);
 
+  // Appends `tensor` to `task`'s free list: its lifetime ends when the task completes.
+  // Lets plan shapes whose consumers differ from the builder's built-in lifetime rules
+  // (e.g. forward-only serving pipelines, where the consumer stage owns its input
+  // activation) encode explicit frees without a backward pass.
+  void FreeAfter(TaskId task, TensorId tensor);
+
   const Model& model() const { return *model_; }
   const DecomposerOptions& options() const { return options_; }
   int num_layers() const { return model_->num_layers(); }
@@ -127,6 +133,26 @@ class PlanBuilder {
   std::map<std::tuple<int, int, int, int>, TensorId> act_grads_;  // (iter, layer, mb, replica)
   std::map<std::tuple<int, int, int, int>, TensorId> stashes_;    // (iter, layer, mb, replica)
 };
+
+// ---- inference serving (Computron-style model-parallel swapping; DESIGN.md §13) ----
+//
+// A serving plan is a forward-only pipeline: layers are partitioned into one
+// compute-balanced contiguous stage per GPU, and each request batch flows swap-in →
+// forward → swap-out. "Swap-in" is the ordinary first-touch (or post-eviction) weight
+// fetch from host memory; "swap-out" is a *clean drop* — serving never dirties weights, so
+// evicting a cold model's stage writes nothing back, which is exactly what lets many
+// models time-share a small GPU pool. Stages run stashless (recompute-style decomposition:
+// only boundary activations materialize); the consumer stage frees its input activation
+// once consumed, and the last stage frees the logits it produced (the response leaves the
+// simulated machine).
+struct ServingPlanOptions {
+  int requests = 1;    // pipeline wavefronts; maps to Plan::num_iterations for SLO stats
+  int batches = 1;     // request batches pipelined per wavefront
+  int batch_size = 1;  // samples per batch
+};
+
+Plan BuildServingPlan(const Model& model, const Machine& machine, TensorRegistry* registry,
+                      const ServingPlanOptions& options);
 
 }  // namespace harmony
 

@@ -1,6 +1,7 @@
 #include "src/hw/cluster_spec.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -138,6 +139,14 @@ StatusOr<ClusterSpec> ParseClusterSpec(const std::string& spec) {
         break;
       }
     }
+  }
+  // Each factor is individually bounded by 1 << 20, but the *product* is the machine size;
+  // widen before multiplying (int would overflow at the limits) and bound the total.
+  const std::int64_t total_gpus = std::int64_t{out.nodes} * out.gpus_per_node;
+  if (total_gpus > kMaxClusterGpus) {
+    return MalformedSpec(0, "nodes * gpus_per_node = " + std::to_string(total_gpus) +
+                                " GPUs exceeds the supported maximum of " +
+                                std::to_string(kMaxClusterGpus));
   }
   return out;
 }

@@ -235,6 +235,12 @@ Topology MakeClusterTopology(const ClusterConfig& config) {
   const ServerConfig& server = config.server;
   HCHECK_GT(server.num_gpus, 0);
   HCHECK_GT(server.gpus_per_switch, 0);
+  // Widen before multiplying: both factors may be as large as 1 << 20 (the cluster-spec
+  // limit), so the product overflows int. The bound itself is a typed error at the parse /
+  // validation layer; reaching here past it is an internal invariant violation.
+  HCHECK_LE(std::int64_t{config.num_servers} * server.num_gpus, kMaxClusterGpus)
+      << "cluster topology of " << config.num_servers << " nodes x " << server.num_gpus
+      << " GPUs exceeds kMaxClusterGpus";
 
   const int nodes_per_rack =
       config.nodes_per_rack == 0 ? config.num_servers : config.nodes_per_rack;
@@ -284,7 +290,7 @@ Machine MakeCluster(const ClusterConfig& config) {
   Machine machine;
   machine.topology = MakeClusterTopology(config);
   machine.gpus.assign(
-      static_cast<std::size_t>(config.num_servers * config.server.num_gpus),
+      static_cast<std::size_t>(std::int64_t{config.num_servers} * config.server.num_gpus),
       config.server.gpu);
   machine.p2p_enabled = config.server.p2p_enabled;
   return machine;

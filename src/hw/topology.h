@@ -7,6 +7,7 @@
 #ifndef HARMONY_SRC_HW_TOPOLOGY_H_
 #define HARMONY_SRC_HW_TOPOLOGY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -165,6 +166,14 @@ struct Machine {
 };
 
 Machine MakeCommodityServer(const ServerConfig& config);
+
+// Upper bound on nodes * gpus_per_node for any simulated cluster. The cluster-spec grammar
+// caps each factor at 1 << 20, so the *product* can reach 1 << 40 — far past what an `int`
+// holds and far past anything the simulator can build. Sizing math must widen to 64 bits
+// before multiplying and check against this bound; ParseClusterSpec and
+// ValidateSessionConfig surface the violation as a typed error before any topology is
+// constructed.
+inline constexpr std::int64_t kMaxClusterGpus = std::int64_t{1} << 20;
 
 // Multi-server cluster (Sec. 4 of the paper): `num_servers` commodity servers ("nodes"),
 // each with its own NIC behind the host root complex, attached to a top-of-rack switch; with

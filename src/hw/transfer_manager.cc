@@ -220,6 +220,25 @@ double TransferManager::ComputeRate(const Flow& flow) const {
   return rate;
 }
 
+void TransferManager::ApplyUplinkBandwidthQuota(double fraction) {
+  HCHECK_GT(fraction, 0.0);
+  HCHECK_LE(fraction, 1.0);
+  if (fraction == 1.0) {
+    return;  // full share: keep the exact pre-quota link state (and event sequence)
+  }
+  HCHECK(flows_.empty()) << "quota must be applied before any flow starts";
+  for (LinkId lid = 0; lid < topology_->num_links(); ++lid) {
+    const TopologyLink& link = topology_->link(lid);
+    const bool shared_uplink =
+        link.tier != LinkTier::kPcie ||
+        topology_->node(link.src).kind == NodeKind::kHost ||
+        topology_->node(link.dst).kind == NodeKind::kHost;
+    if (shared_uplink) {
+      SetLinkBandwidthScale(lid, fraction);
+    }
+  }
+}
+
 void TransferManager::SetLinkBandwidthScale(LinkId link, double scale) {
   HCHECK_GE(link, 0);
   HCHECK_LT(static_cast<std::size_t>(link), link_scale_.size());

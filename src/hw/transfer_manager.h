@@ -89,6 +89,16 @@ class TransferManager {
   // WasAborted(event) reports the failure, so callers can branch on a typed outcome.
   OneShotEvent* StartTransfer(NodeId src, NodeId dst, Bytes bytes, TransferKind kind);
 
+  // ---- quota admission (multi-tenant scheduler, DESIGN.md §13) ----
+  // Caps the bandwidth this session may draw from every shared uplink at `fraction` of
+  // spec bandwidth: all host-adjacent links (the PCIe swap uplinks) and the NIC / rack
+  // network tiers. GPU-side PCIe legs and p2p paths keep full speed — a tenant's quota
+  // reserves the *shared* fabric, not its own lanes. fraction == 1.0 is a no-op (exact
+  // pre-quota event sequence). Call once, before any flow starts; composes with the fault
+  // model by simple overwrite (a later fault scale replaces the quota on that link), so
+  // scheduler sessions do not arm faults.
+  void ApplyUplinkBandwidthQuota(double fraction);
+
   // ---- fault model ----
   // Rescales `link`'s effective bandwidth to scale * spec bandwidth (scale in (0, 1]).
   // Active flows crossing the link are re-rated immediately; flows bottlenecked elsewhere

@@ -494,8 +494,9 @@ void Engine::MaybeCheckpoint(int iteration) {
     return;
   }
   if ((iteration + 1) % options_.checkpoint_every != 0 ||
-      iteration + 1 >= plan_->num_iterations) {
+      (iteration + 1 >= plan_->num_iterations && !options_.checkpoint_final)) {
     return;  // no checkpoint after the final iteration — the run is the checkpoint
+            // (unless checkpoint_final: a preemption drain ends *with* the commit)
   }
   // Copy out every device's diverged weight/optimizer bytes. Tensors already swapped out
   // (or never touched) have a valid host copy and cost nothing — that is what makes the

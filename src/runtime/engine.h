@@ -42,6 +42,11 @@ struct EngineOptions {
   // (0 = never). The copy-out rides the normal transfer fabric, so its cost and contention
   // are part of the measured makespan.
   int checkpoint_every = 0;
+  // Also commit the checkpoint that lands on the final iteration. Normally skipped ("the
+  // run is the checkpoint"), but a preemption drain ends with exactly that commit: the
+  // cluster scheduler cuts a victim short and must pay the copy-out before releasing the
+  // gang.
+  bool checkpoint_final = false;
   // Flag the run as stalled when no task completes for this many sim seconds (0 = no
   // watchdog). Must exceed the longest single task's compute+swap latency.
   double watchdog_timeout = 0.0;

@@ -1,6 +1,9 @@
 #include "src/sim/simulator.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <utility>
 
 #include "src/util/thread_pool.h"
@@ -553,19 +556,41 @@ void Simulator::ExecuteWindow(SimTime window_end, std::uint64_t* budget) {
   }
 }
 
+StatusOr<int> ParseSimThreadsEnv(const char* value) {
+  if (value == nullptr || *value == '\0') {
+    return 1;
+  }
+  // Digits only: strtol alone would skip leading whitespace and accept signs, and the
+  // old std::atoi path mapped any garbage to 0 — which the caller then clamped to 1,
+  // silently serializing the simulator on a typo'd environment.
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return InvalidArgumentError("HARMONY_SIM_THREADS must be a positive integer, got '" +
+                                  std::string(value) + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end != value + std::strlen(value) || errno == ERANGE || parsed < 1 ||
+      parsed > std::numeric_limits<int>::max()) {
+    return InvalidArgumentError("HARMONY_SIM_THREADS must be a positive integer, got '" +
+                                std::string(value) + "'");
+  }
+  return static_cast<int>(parsed);
+}
+
 int ResolveSimThreads(int requested) {
   if (requested >= 1) {
     return requested;
   }
-  static const int from_env = [] {
-    const char* value = std::getenv("HARMONY_SIM_THREADS");
-    if (value == nullptr) {
-      return 1;
-    }
-    const int parsed = std::atoi(value);
-    return parsed >= 1 ? parsed : 1;
-  }();
-  return from_env;
+  // Re-read on every call (no cache): getenv is cheap next to building a session, and a
+  // cached first read would silently ignore env changes from tests or long-lived embedders
+  // that run several sessions. Each session still samples the value exactly once, at
+  // startup, so determinism within a run is unaffected.
+  const StatusOr<int> parsed = ParseSimThreadsEnv(std::getenv("HARMONY_SIM_THREADS"));
+  HCHECK(parsed.ok()) << parsed.status().message();
+  return parsed.value();
 }
 
 // ---- waitable events --------------------------------------------------------------------

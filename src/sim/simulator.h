@@ -32,6 +32,7 @@
 
 #include "src/util/check.h"
 #include "src/util/inline_function.h"
+#include "src/util/status.h"
 
 namespace harmony {
 
@@ -238,10 +239,18 @@ class Simulator {
   std::vector<RunCursor> cursors_;     // scratch: merge heap over drained runs
 };
 
+// Parses a HARMONY_SIM_THREADS environment value: nullptr / empty means "unset" and
+// resolves to 1; anything else must be a full-string positive integer that fits an int.
+// Garbage ("8x", "abc"), zero/negative values, and overflow reject with a typed error —
+// the same contract --sim_threads enforces at the flag layer.
+StatusOr<int> ParseSimThreadsEnv(const char* value);
+
 // Resolves a sim-threads knob: n >= 1 is taken literally; n <= 0 means "consult the
-// HARMONY_SIM_THREADS environment variable" (read once and cached), defaulting to 1 when
-// unset or unparsable. The env hook lets the golden benches — which take no flags — be
-// swept across thread counts without per-binary plumbing.
+// HARMONY_SIM_THREADS environment variable", re-read on every call so env changes between
+// sessions take effect (each session samples it once at startup). A malformed env value is
+// fatal with the ParseSimThreadsEnv message — callers that want a recoverable Status should
+// parse the env themselves. The env hook lets the golden benches — which take no flags —
+// be swept across thread counts without per-binary plumbing.
 int ResolveSimThreads(int requested);
 
 // One-shot waitable event. Waiters registered before the fire run (in registration order) as

@@ -472,7 +472,44 @@ TEST(ClusterSpecFuzz, TwoHundredSeededRoundTripsReachACanonicalFixedPoint) {
     EXPECT_EQ(second.value().nodes, first.value().nodes);
     EXPECT_EQ(second.value().gpus_per_node, first.value().gpus_per_node);
     EXPECT_EQ(second.value().nodes_per_rack, first.value().nodes_per_rack);
+
+    // Re-stating any key is a typed duplicate-key error, wherever the duplicate lands:
+    // append a copy of a random already-present field and expect rejection at its offset.
+    if (!fields.empty()) {
+      const std::string& dup = fields[rng.NextBounded(fields.size())];
+      const std::string duplicated = raw + "," + dup;
+      const StatusOr<ClusterSpec> rejected = ParseClusterSpec(duplicated);
+      ASSERT_FALSE(rejected.ok()) << duplicated;
+      const std::string message = rejected.status().ToString();
+      EXPECT_NE(message.find("duplicate cluster option '" +
+                             dup.substr(0, dup.find('=')) + "'"),
+                std::string::npos)
+          << duplicated << " -> " << message;
+      EXPECT_NE(message.find("(at byte " + std::to_string(raw.size() + 1) + ";"),
+                std::string::npos)
+          << duplicated << " -> " << message;
+    }
   }
+}
+
+TEST(ClusterSpecFuzz, TotalGpusAtSpecLimitsIsBoundedNotOverflowed) {
+  // Regression: both factors sit at the per-key limit (1 << 20). The product is 1 << 40,
+  // which overflowed the old int multiply in MakeCluster before any bound could fire; the
+  // parser now widens to int64 and rejects with a typed total-GPU bound.
+  const StatusOr<ClusterSpec> parsed =
+      ParseClusterSpec("nodes=1048576,gpus_per_node=1048576");
+  ASSERT_FALSE(parsed.ok());
+  const std::string message = parsed.status().ToString();
+  EXPECT_NE(message.find("exceeds the supported maximum"), std::string::npos) << message;
+  EXPECT_NE(message.find(std::to_string(std::int64_t{1} << 40)), std::string::npos)
+      << message;
+
+  // The largest cluster that passes the bound parses fine — the limit is on the product,
+  // not the factors.
+  const StatusOr<ClusterSpec> at_bound = ParseClusterSpec("nodes=1048576,gpus_per_node=1");
+  ASSERT_TRUE(at_bound.ok()) << at_bound.status().ToString();
+  EXPECT_EQ(std::int64_t{at_bound.value().nodes} * at_bound.value().gpus_per_node,
+            kMaxClusterGpus);
 }
 
 TEST(ClusterSpecFuzz, MalformedSpecsReturnTypedByteOffsetErrors) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -612,6 +613,48 @@ TEST(FaultPlanTest, RandSpecMatchesDirectConstruction) {
       ParseFaultSpec("rand:seed=7,mtbf=1,horizon=5,gpus=2");
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed.value().ToString(), MakeRandomFaultPlan(options).ToString());
+}
+
+// ---- HARMONY_SIM_THREADS parsing (regression: atoi silently mapped garbage to 1) ----
+
+TEST(SimThreadsEnvTest, UnsetAndEmptyDefaultToOne) {
+  EXPECT_EQ(ParseSimThreadsEnv(nullptr).value(), 1);
+  EXPECT_EQ(ParseSimThreadsEnv("").value(), 1);
+}
+
+TEST(SimThreadsEnvTest, ValidCountsParse) {
+  EXPECT_EQ(ParseSimThreadsEnv("1").value(), 1);
+  EXPECT_EQ(ParseSimThreadsEnv("8").value(), 8);
+  EXPECT_EQ(ParseSimThreadsEnv("128").value(), 128);
+}
+
+TEST(SimThreadsEnvTest, GarbageIsATypedErrorNotOne) {
+  // The old std::atoi path returned 0 for every one of these, which the caller then
+  // clamped to 1 — a misconfigured environment silently serialized the simulator.
+  for (const char* bad : {"abc", "2x", "x2", " 4", "4 ", "0", "-3", "1e2", "2.5",
+                          "99999999999999999999"}) {
+    const StatusOr<int> parsed = ParseSimThreadsEnv(bad);
+    ASSERT_FALSE(parsed.ok()) << "'" << bad << "' parsed to " << parsed.value();
+    EXPECT_NE(parsed.status().ToString().find("HARMONY_SIM_THREADS"), std::string::npos);
+    EXPECT_NE(parsed.status().ToString().find(bad), std::string::npos)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(SimThreadsEnvTest, ResolveReadsTheEnvironmentOnEveryCall) {
+  // ResolveSimThreads deliberately has no static cache: a long-lived embedder that runs
+  // several sessions sees env changes between them (each session still samples the value
+  // once, at startup).
+  ASSERT_EQ(setenv("HARMONY_SIM_THREADS", "2", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveSimThreads(0), 2);
+  ASSERT_EQ(setenv("HARMONY_SIM_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveSimThreads(0), 3);
+  ASSERT_EQ(unsetenv("HARMONY_SIM_THREADS"), 0);
+  EXPECT_EQ(ResolveSimThreads(0), 1);
+  // An explicit request short-circuits the environment entirely.
+  ASSERT_EQ(setenv("HARMONY_SIM_THREADS", "7", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveSimThreads(4), 4);
+  ASSERT_EQ(unsetenv("HARMONY_SIM_THREADS"), 0);
 }
 
 }  // namespace

@@ -71,6 +71,34 @@ expect_reject "must be 0, 1, true or false" --faults='rand:ext=2'
 expect_reject "expected a target like 'nic0'" --faults='flow_flap@1:nic'
 expect_reject "expected a target like" --faults='brownout@1:rack-1:0.5:1'
 
+# Scheduler-mode grammars (DESIGN.md §13): --sched, --jobs, --trace and --quota are all
+# parsed up front; malformed specs are typed errors with the byte offset of the offending
+# field, before any job is admitted.
+expect_reject "unknown scheduling policy" --sched=bogus --jobs='train@0'
+expect_reject "at byte" --sched=fifo --jobs='train@'
+expect_reject "unknown job option" --sched=fifo --jobs='train@0:color=red'
+expect_reject "duplicate job option" --sched=fifo --jobs='train@0:gpus=2,gpus=4'
+expect_reject "trace kind must be" --sched=fifo --trace='weekly:seed=1,rate=1,horizon=9'
+expect_reject "at byte" --sched=fifo --trace='poisson:seed=1,rate=-1,horizon=9'
+expect_reject "duplicate trace option" --sched=fifo --trace='poisson:seed=1,seed=2,rate=1,horizon=9'
+expect_reject "require burst= and period=" --sched=fifo --trace='bursty:seed=1,rate=1,horizon=9'
+expect_reject "at byte" --sched=priority --jobs='train@0' --quota='t0:mem_gib=-4'
+expect_reject "duplicate quota for tenant" --sched=priority --jobs='train@0' --quota='t0:bw=0.5;t0:bw=0.25'
+
+# Scheduler flags outside scheduler mode, and single-run modes inside it, are both
+# rejected up front (plain typed message, exit 2).
+for args in "--jobs=train@0" "--quota=t0:bw=0.5" "--sched=fifo --jobs=train@0 --lint"; do
+  # shellcheck disable=SC2086
+  err=$("$sim" $args 2>&1 >/dev/null)
+  code=$?
+  if [[ $code -ne 2 || "$err" != *"--sched"* || "$err" != *"--help"* ]]; then
+    echo "FAIL $args : exit $code, stderr: $err" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok   $args -> exit 2 (scheduler-mode gating)"
+  fi
+done
+
 # Network-scoped fault targets are validated against the cluster shape before the run:
 # nic5 on a 2-node fleet is a typed validation error (exit 1, not a crash).
 err=$("$sim" --nodes=2 --scheme=harmony-dp --microbatches=2 --faults='flow_flap@1:nic5' 2>&1 >/dev/null)

@@ -32,6 +32,7 @@ benches=(
   bench_e2e_comparison
   bench_chaos
   bench_cluster_scaleout
+  bench_multitenant
 )
 
 workdir=$(mktemp -d)

@@ -15,6 +15,7 @@
 #include "src/core/session.h"
 #include "src/hw/cluster_spec.h"
 #include "src/core/tuner.h"
+#include "src/runtime/cluster_scheduler.h"
 #include "src/graph/model_zoo.h"
 #include "src/runtime/plan_lint.h"
 #include "src/runtime/report_io.h"
@@ -38,30 +39,12 @@ bool AssignFlag(const StatusOr<T>& parsed, T* out) {
   return true;
 }
 
-StatusOr<Scheme> SchemeByName(const std::string& name) {
-  if (name == "baseline-dp") {
-    return Scheme::kBaselineDp;
-  }
-  if (name == "baseline-pp") {
-    return Scheme::kBaselinePp;
-  }
-  if (name == "harmony-dp") {
-    return Scheme::kHarmonyDp;
-  }
-  if (name == "harmony-pp") {
-    return Scheme::kHarmonyPp;
-  }
-  if (name == "harmony-tp") {
-    return Scheme::kHarmonyTp;
-  }
-  return InvalidArgumentError("unknown scheme '" + name + "'");
-}
-
 int Run(int argc, char** argv) {
   FlagParser flags;
   flags.Define("model", "bert-large",
               "lenet | alexnet | gnmt | amoebanet | bert-base | bert-large | gpt2-xl | toy")
-      .Define("scheme", "harmony-pp", "baseline-dp | baseline-pp | harmony-dp | harmony-pp | harmony-tp")
+      .Define("scheme", "harmony-pp",
+              "baseline-dp | baseline-pp | harmony-dp | harmony-pp | harmony-tp | serving")
       .Define("gpus", "4", "number of GPUs per node")
       .Define("gpu_memory_gib", "11", "per-GPU memory (GiB)")
       .Define("gpus_per_switch", "4", "GPUs below each PCIe switch")
@@ -98,7 +81,23 @@ int Run(int argc, char** argv) {
       .Define("explain", "false",
               "print the bottleneck attribution (dominant stall per device, top contended "
               "link, top-churn tensors)")
-      .Define("trace", "", "write a chrome://tracing JSON to this path")
+      .Define("sched", "",
+              "run the multi-tenant cluster scheduler with this policy (fifo | priority) "
+              "instead of one training session; supply the workload with --jobs and/or "
+              "--trace (which is the arrival-trace spec in this mode)")
+      .Define("jobs", "",
+              "explicit job stream for --sched: '(train|serve)@<arrival>:tenant=<t>,"
+              "model=<m>,scheme=<s>,gpus=<n>,iters=<n>,mb=<n>,mbs=<n>,prio=<n>', "
+              "semicolon-separated; every key optional")
+      .Define("quota", "",
+              "per-tenant quotas for --sched: '<tenant|*>:mem_gib=<g>,bw=<frac>', "
+              "semicolon-separated; mem_gib caps the tenant's aggregate host-memory "
+              "footprint, bw reserves a (0,1] share of host-uplink/NIC bandwidth")
+      .Define("trace", "",
+              "write a chrome://tracing JSON to this path; with --sched this is instead "
+              "the arrival-trace spec 'poisson:seed=<s>,rate=<r>,horizon=<h>"
+              "[,serve_frac=<f>]' (also bursty:...,burst=<n>,period=<p> and "
+              "diurnal:...,period=<p>)")
       .Define("csv", "", "write per-iteration metrics CSV to this path")
       .Define("json", "", "write the full structured run report (JSON) to this path")
       .Define("faults", "",
@@ -214,6 +213,87 @@ int Run(int argc, char** argv) {
       !AssignFlag(flags.GetCheckedBool("lint"), &lint)) {
     return 2;
   }
+  if (!flags.Get("sched").empty()) {
+    // Scheduler mode: run a multi-tenant job stream over the cluster instead of one
+    // session. --trace is the arrival-trace spec here (chrome tracing has no meaning for
+    // a job stream), and the single-run modes are unavailable.
+    const StatusOr<SchedPolicy> policy = SchedPolicyByName(flags.Get("sched"));
+    if (!policy.ok()) {
+      std::cerr << policy.status().ToString() << "\n(run with --help for flag usage)\n";
+      return 2;
+    }
+    if (tune || lint || timeline || !flags.Get("faults").empty() ||
+        !flags.Get("csv").empty()) {
+      std::cerr << "--sched cannot be combined with --tune, --lint, --timeline, --faults, "
+                   "or --csv\n(run with --help for flag usage)\n";
+      return 2;
+    }
+    ClusterSchedulerConfig sched;
+    sched.server = config.server;
+    sched.num_nodes = config.num_nodes;
+    sched.nodes_per_rack = config.nodes_per_rack;
+    sched.nic_link = config.nic_link;
+    sched.rack_link = config.rack_link;
+    sched.policy = policy.value();
+    sched.sim_threads = config.sim_threads;
+    if (!flags.Get("quota").empty()) {
+      const StatusOr<QuotaMap> quotas = ParseQuotaSpec(flags.Get("quota"));
+      if (!quotas.ok()) {
+        std::cerr << quotas.status().ToString() << "\n(run with --help for flag usage)\n";
+        return 2;
+      }
+      sched.quotas = quotas.value();
+    }
+    std::vector<JobSpec> jobs;
+    if (!flags.Get("jobs").empty()) {
+      const StatusOr<std::vector<JobSpec>> parsed_jobs = ParseJobsSpec(flags.Get("jobs"));
+      if (!parsed_jobs.ok()) {
+        std::cerr << parsed_jobs.status().ToString()
+                  << "\n(run with --help for flag usage)\n";
+        return 2;
+      }
+      jobs = parsed_jobs.value();
+    }
+    if (!flags.Get("trace").empty()) {
+      const StatusOr<std::vector<JobSpec>> generated = GenerateTrace(
+          flags.Get("trace"), sched.server.num_gpus, sched.num_nodes, flags.Get("model"));
+      if (!generated.ok()) {
+        std::cerr << generated.status().ToString() << "\n(run with --help for flag usage)\n";
+        return 2;
+      }
+      jobs.insert(jobs.end(), generated.value().begin(), generated.value().end());
+    }
+    if (jobs.empty()) {
+      std::cerr << "--sched needs a workload: pass --jobs and/or --trace\n(run with "
+                   "--help for flag usage)\n";
+      return 2;
+    }
+    const StatusOr<ClusterReport> report = RunJobStream(std::move(jobs), sched);
+    if (!report.ok()) {
+      std::cerr << report.status().ToString() << "\n";
+      return 1;
+    }
+    if (explain) {
+      std::cout << report.value().Render();
+    } else {
+      std::cout << report.value().Summary() << "\n";
+    }
+    if (!flags.Get("json").empty()) {
+      const Status written = WriteClusterReportJson(report.value(), flags.Get("json"));
+      if (!written.ok()) {
+        std::cerr << written.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "wrote cluster report to " << flags.Get("json") << "\n";
+    }
+    return 0;
+  }
+  if (!flags.Get("jobs").empty() || !flags.Get("quota").empty()) {
+    std::cerr << "--jobs/--quota only apply to scheduler mode; add --sched=<fifo|priority>"
+                 "\n(run with --help for flag usage)\n";
+    return 2;
+  }
+
   config.record_timeline = timeline || !flags.Get("trace").empty();
   if (!flags.Get("faults").empty()) {
     const StatusOr<FaultPlan> faults = ParseFaultSpec(flags.Get("faults"));

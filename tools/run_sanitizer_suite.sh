@@ -19,6 +19,11 @@
 #                         determinism grid across node counts and sim_threads, tier
 #                         conservation, and the hierarchical-linter mutation suite,
 #                         whose NIC/ToR event lanes are the newest parallel surface.
+#   - `ctest -L sched`  : the multi-tenant cluster scheduler (DESIGN.md §13) — the
+#                         trace × policy × sim_threads determinism grid, the
+#                         preemption checkpoint/restore protocol, and per-tenant
+#                         quota enforcement, which nest whole sessions inside an
+#                         outer event stream.
 # Pass --full to run the entire ctest suite under each sanitizer instead (slower).
 #
 # Usage: tools/run_sanitizer_suite.sh [--full]
@@ -47,6 +52,7 @@ run_one() {
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L simcore)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L chaos)
     (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L cluster)
+    (cd "$repo/$build_dir" && ctest --output-on-failure -j "$jobs" -L sched)
   fi
   echo "==== $sanitizer: clean ===="
 }
