@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -112,9 +113,18 @@ StatusOr<Scheme> TrainingSchemeByName(const char* what, const Field& field) {
                        "baseline-pp, harmony-dp, harmony-pp, harmony-tp)");
 }
 
-std::string FormatTime(double t) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%g", t);
+// Shortest decimal that round-trips to the same double (the ReportToJson rule), shared by
+// the canonical --jobs rendering and the JSON export: bursty-trace arrivals staggered by
+// 1e-3 at large t must stay distinct, and the bytes must be stable across runs and
+// thread counts.
+std::string RoundTripNumber(double value) {
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) {
+      break;
+    }
+  }
   return buffer;
 }
 
@@ -122,7 +132,7 @@ std::string FormatTime(double t) {
 
 std::string JobSpec::ToString() const {
   std::string out = kind == JobKind::kServing ? "serve@" : "train@";
-  out += FormatTime(arrival);
+  out += RoundTripNumber(arrival);
   out += ":tenant=" + tenant;
   out += ",model=" + model;
   if (kind == JobKind::kTraining) {
@@ -408,8 +418,12 @@ StatusOr<std::vector<JobSpec>> GenerateTrace(const std::string& spec, int gpus_p
   if (diurnal && period == 0.0) {
     return Malformed("trace", 0, "diurnal traces require period=");
   }
-  if ((poisson || diurnal) && (seen[4] || (seen[5] && !diurnal))) {
-    return Malformed("trace", 0, "burst=/period= only apply to bursty traces");
+  if (poisson && (seen[4] || seen[5])) {
+    return Malformed("trace", 0, "burst=/period= do not apply to poisson traces");
+  }
+  // Diurnal *requires* period=, so only burst= is foreign there.
+  if (diurnal && seen[4]) {
+    return Malformed("trace", 0, "burst= only applies to bursty traces");
   }
 
   Rng rng(seed);
@@ -710,7 +724,9 @@ class ClusterScheduler {
     sim_.RunUntilIdle();
 
     ClusterReport report;
-    report.total_gpus = config_.num_nodes * config_.server.num_gpus;
+    // ValidateJobs bounds the widened product by kMaxClusterGpus, so the narrowing fits.
+    report.total_gpus =
+        static_cast<int>(std::int64_t{config_.num_nodes} * config_.server.num_gpus);
     report.num_nodes = config_.num_nodes;
     report.policy = config_.policy;
     for (JobState& job : jobs_) {
@@ -750,6 +766,11 @@ class ClusterScheduler {
       return;  // preempted after this completion was scheduled
     }
     HCHECK(job.phase == Phase::kRunning || job.phase == Phase::kDraining);
+    if (job.phase == Phase::kDraining) {
+      // A final-iteration-in-flight drain ends here, not in OnRelease: the counter must
+      // drop or priority preemption stays gated off for the rest of the stream.
+      --draining_;
+    }
     FinalizeSegment(&job, /*duration=*/job.seg_run.makespan, /*iterations=*/job.seg_planned,
                     /*preempted=*/false);
     job.out.completed = true;
@@ -1088,6 +1109,16 @@ Status ValidateJobs(const std::vector<JobSpec>& jobs,
     return InvalidArgumentError("cluster needs nodes >= 1, got " +
                                 std::to_string(config.num_nodes));
   }
+  // Widen before multiplying: each factor may legitimately be up to 1<<20, so the int
+  // product overflows. Bounding here (not just in ParseClusterSpec) covers library
+  // callers that build the config directly.
+  if (std::int64_t{config.num_nodes} * config.server.num_gpus > kMaxClusterGpus) {
+    return InvalidArgumentError(
+        "cluster of " + std::to_string(config.num_nodes) + " nodes x " +
+        std::to_string(config.server.num_gpus) +
+        " GPUs exceeds the supported maximum of " + std::to_string(kMaxClusterGpus) +
+        " total GPUs");
+  }
   const int node_gpus = config.server.num_gpus;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const JobSpec& job = jobs[i];
@@ -1207,18 +1238,8 @@ std::string ClusterReport::RenderTenantTable() const {
 
 namespace {
 
-// Shortest decimal that round-trips to the same double (the ReportToJson rule), so the
-// cluster export is byte-stable across runs and thread counts.
-std::string JsonNumber(double value) {
-  char buffer[64];
-  for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) {
-      break;
-    }
-  }
-  return buffer;
-}
+// The cluster export uses the same shortest-round-trip rule as the spec rendering.
+std::string JsonNumber(double value) { return RoundTripNumber(value); }
 
 std::string JsonString(const std::string& s) {
   std::string out = "\"";

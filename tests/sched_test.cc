@@ -76,6 +76,22 @@ TEST(JobsSpecTest, ParsesAndRoundTripsThroughToString) {
   }
 }
 
+TEST(JobsSpecTest, ArrivalRenderingKeepsMillisecondStaggerAtLargeTimes) {
+  // Bursty traces stagger burst arrivals by 1e-3; at day-scale t a 6-significant-digit
+  // rendering would collapse them. ToString must round-trip the exact double.
+  const StatusOr<std::vector<JobSpec>> jobs =
+      ParseJobsSpec("train@86400.001;train@86400.002");
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+  ASSERT_EQ(jobs.value().size(), 2u);
+  EXPECT_NE(jobs.value()[0].ToString(), jobs.value()[1].ToString());
+  for (const JobSpec& job : jobs.value()) {
+    const StatusOr<std::vector<JobSpec>> again = ParseJobsSpec(job.ToString());
+    ASSERT_TRUE(again.ok()) << job.ToString() << ": " << again.status().ToString();
+    ASSERT_EQ(again.value().size(), 1u);
+    EXPECT_EQ(again.value()[0].arrival, job.arrival) << job.ToString();
+  }
+}
+
 TEST(JobsSpecTest, MalformedSpecsReturnTypedByteOffsetErrors) {
   const struct {
     const char* spec;
@@ -187,9 +203,13 @@ TEST(TraceSpecTest, MalformedTracesReturnTypedErrors) {
       {"steady:seed=1,rate=1,horizon=5", "trace kind must be poisson, bursty, or diurnal"},
       {"poisson:rate=1,horizon=5", "seed=, rate=, and horizon= are required"},
       {"poisson:seed=1,rate=0,horizon=5", "rate must be > 0"},
-      {"poisson:seed=1,rate=1,horizon=5,burst=2", "burst=/period= only apply to bursty"},
+      {"poisson:seed=1,rate=1,horizon=5,burst=2", "burst=/period= do not apply to poisson"},
+      {"poisson:seed=1,rate=1,horizon=5,period=3", "burst=/period= do not apply to poisson"},
       {"bursty:seed=1,rate=1,horizon=5", "bursty traces require burst= and period="},
       {"diurnal:seed=1,rate=1,horizon=5", "diurnal traces require period="},
+      // period= is *required* for diurnal, so only burst= may be called foreign here.
+      {"diurnal:seed=1,rate=1,horizon=5,period=3,burst=2",
+       "burst= only applies to bursty traces"},
       {"poisson:seed=1,rate=1,horizon=5,seed=2", "duplicate trace option 'seed'"},
       {"poisson:seed=1,rate=999,horizon=99999", "lower rate or horizon"},
   };
@@ -218,6 +238,19 @@ TEST(ValidateJobsTest, RejectsBadGangsModelsAndHopelessQuotas) {
     JobSpec job = TrainJob(0, "a", 2, 2);
     job.model = "nonexistent-model";
     EXPECT_FALSE(ValidateJobs({job}, config).ok());
+  }
+  {
+    // Each cluster-spec factor may be up to 1<<20, so the unwidened product overflows
+    // int; the widened total must be bounded for library callers too (ParseClusterSpec
+    // only guards the CLI path).
+    ClusterSchedulerConfig huge = SmallCluster(/*nodes=*/1 << 20, /*gpus_per_node=*/1 << 20);
+    const Status bad = ValidateJobs({}, huge);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.message().find("exceeds the supported maximum"), std::string::npos)
+        << bad.message();
+    // The limit itself stays admissible.
+    ClusterSchedulerConfig at_limit = SmallCluster(/*nodes=*/1 << 18, /*gpus_per_node=*/4);
+    EXPECT_TRUE(ValidateJobs({}, at_limit).ok());
   }
   {
     // toy training state (weights + grads + opt) is 3 GiB: a 2 GiB quota means the job
@@ -383,6 +416,54 @@ TEST(PreemptionTest, CheckpointReleaseReadmitRestoreLosesNothing) {
   EXPECT_NEAR(hi.first_start, low.segments[0].start + low.segments[0].duration, 1e-9);
   // The victim resumes only after the high-priority job finishes.
   EXPECT_GE(low.segments[1].start, hi.finish - 1e-9);
+}
+
+TEST(PreemptionTest, FinalIterationDrainDoesNotDisablePreemption) {
+  // When the victim's final iteration is already in flight, Preempt() lets the segment
+  // finish naturally: the job drains through OnComplete, not OnRelease. The draining
+  // counter must drop there too, or priority preemption stays gated off for the rest of
+  // the job stream.
+  ClusterSchedulerConfig config = SmallCluster(/*nodes=*/1, /*gpus_per_node=*/4);
+  config.policy = SchedPolicy::kPriority;
+  // A is mid final (only) iteration when B arrives, so B's preemption attempt takes the
+  // drain-to-natural-completion path.
+  const JobSpec a = TrainJob(0.0, "low", /*gpus=*/4, /*iters=*/1, /*priority=*/0);
+  const JobSpec b = TrainJob(0.1, "hi", /*gpus=*/4, /*iters=*/2, /*priority=*/5);
+
+  // Probe run pins B's finish time so the second high-priority job can be dropped one
+  // second into C's segment (C is granted the instant B releases the gang).
+  const StatusOr<ClusterReport> probe = RunJobStream({a, b}, config);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  ASSERT_TRUE(probe.value().jobs[1].completed);
+  EXPECT_EQ(probe.value().preemptions, 0) << "a natural drain is not a preemption";
+  // B waits out A's in-flight iteration rather than cutting it short.
+  EXPECT_NEAR(probe.value().jobs[1].first_start, probe.value().jobs[0].finish, 1e-9);
+  const double b_finish = probe.value().jobs[1].finish;
+
+  const std::vector<JobSpec> jobs = {
+      a, b,
+      TrainJob(0.2, "low2", /*gpus=*/4, /*iters=*/4, /*priority=*/0),       // C
+      TrainJob(b_finish + 1.0, "hi", /*gpus=*/4, /*iters=*/2, /*priority=*/5),  // D
+  };
+  const StatusOr<ClusterReport> report = RunJobStream(jobs, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  CheckConservation(report.value());
+
+  const JobOutcome& a_out = report.value().jobs[0];
+  const JobOutcome& c_out = report.value().jobs[2];
+  const JobOutcome& d_out = report.value().jobs[3];
+  // A drained to its natural end: one unpreempted segment, no preemption counted.
+  EXPECT_EQ(a_out.preemptions, 0);
+  ASSERT_EQ(a_out.segments.size(), 1u);
+  EXPECT_FALSE(a_out.segments[0].preempted);
+  // The leak would leave draining_ stuck at 1, silently downgrading D to waiting; the
+  // later preemption must still fire.
+  EXPECT_EQ(report.value().preemptions, 1);
+  EXPECT_EQ(c_out.preemptions, 1);
+  ASSERT_GE(c_out.segments.size(), 2u);
+  EXPECT_TRUE(c_out.segments[0].preempted);
+  // D runs as soon as C's drain releases the gang, well before C's natural finish.
+  EXPECT_LT(d_out.first_start, c_out.finish);
 }
 
 TEST(PreemptionTest, FifoNeverPreempts) {

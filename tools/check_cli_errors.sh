@@ -82,6 +82,8 @@ expect_reject "trace kind must be" --sched=fifo --trace='weekly:seed=1,rate=1,ho
 expect_reject "at byte" --sched=fifo --trace='poisson:seed=1,rate=-1,horizon=9'
 expect_reject "duplicate trace option" --sched=fifo --trace='poisson:seed=1,seed=2,rate=1,horizon=9'
 expect_reject "require burst= and period=" --sched=fifo --trace='bursty:seed=1,rate=1,horizon=9'
+expect_reject "do not apply to poisson" --sched=fifo --trace='poisson:seed=1,rate=1,horizon=9,burst=2'
+expect_reject "burst= only applies to bursty" --sched=fifo --trace='diurnal:seed=1,rate=1,horizon=9,period=3,burst=2'
 expect_reject "at byte" --sched=priority --jobs='train@0' --quota='t0:mem_gib=-4'
 expect_reject "duplicate quota for tenant" --sched=priority --jobs='train@0' --quota='t0:bw=0.5;t0:bw=0.25'
 
